@@ -1,0 +1,256 @@
+// Package mmogdc's root benchmark suite: one benchmark per paper
+// table/figure (regenerating the artifact at reduced scale so the
+// suite completes in minutes), plus ablation benches for the design
+// choices called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package mmogdc
+
+import (
+	"testing"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/ecosystem"
+	"mmogdc/internal/emulator"
+	"mmogdc/internal/experiments"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/neural"
+	"mmogdc/internal/predict"
+	"mmogdc/internal/trace"
+	"mmogdc/internal/xrand"
+)
+
+// benchOpts is the reduced-scale configuration used by the
+// per-artifact benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: true, Seed: 42}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	spec, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Run(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- one benchmark per paper artifact ----
+
+func BenchmarkFig01Market(b *testing.B)            { benchExperiment(b, "fig01") }
+func BenchmarkFig02GlobalTrace(b *testing.B)       { benchExperiment(b, "fig02") }
+func BenchmarkFig03RegionalAnalysis(b *testing.B)  { benchExperiment(b, "fig03") }
+func BenchmarkFig04PacketCDF(b *testing.B)         { benchExperiment(b, "fig04") }
+func BenchmarkTab01EmulatorSets(b *testing.B)      { benchExperiment(b, "tab01") }
+func BenchmarkFig05PredictionError(b *testing.B)   { benchExperiment(b, "fig05") }
+func BenchmarkFig06PredictionTiming(b *testing.B)  { benchExperiment(b, "fig06") }
+func BenchmarkTab05Predictors(b *testing.B)        { benchExperiment(b, "tab05") }
+func BenchmarkFig07CumulativeEvents(b *testing.B)  { benchExperiment(b, "fig07") }
+func BenchmarkFig08StaticVsDynamic(b *testing.B)   { benchExperiment(b, "fig08") }
+func BenchmarkTab06UpdateModels(b *testing.B)      { benchExperiment(b, "tab06") }
+func BenchmarkFig09OverUnderSeries(b *testing.B)   { benchExperiment(b, "fig09") }
+func BenchmarkFig10EventsPerModel(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11ResourceBulk(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12TimeBulk(b *testing.B)          { benchExperiment(b, "fig12") }
+func BenchmarkFig13Latency(b *testing.B)           { benchExperiment(b, "fig13") }
+func BenchmarkFig14VeryFarAllocation(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkTab07MultiMMOG(b *testing.B)         { benchExperiment(b, "tab07") }
+
+// ---- extension experiments ----
+
+func BenchmarkExt01Priority(b *testing.B)   { benchExperiment(b, "ext01") }
+func BenchmarkExt02Cost(b *testing.B)       { benchExperiment(b, "ext02") }
+func BenchmarkExt03Predictors(b *testing.B) { benchExperiment(b, "ext03") }
+
+// ---- per-predictor micro-benchmarks (the Fig. 6 measurement at
+// testing.B precision): one full Observe+Predict step each ----
+
+func benchPredictor(b *testing.B, f predict.Factory) {
+	b.Helper()
+	p := f()
+	signal := make([]float64, 256)
+	for i := range signal {
+		signal[i] = float64(100 + (i*37)%900)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(signal[i%len(signal)])
+		_ = p.Predict()
+	}
+}
+
+func BenchmarkPredictNeural(b *testing.B) {
+	benchPredictor(b, predict.NewNeural(predict.PaperNeuralConfig(1)))
+}
+
+func BenchmarkPredictLastValue(b *testing.B) { benchPredictor(b, predict.NewLastValue()) }
+
+func BenchmarkPredictAverage(b *testing.B) { benchPredictor(b, predict.NewAverage()) }
+
+func BenchmarkPredictMovingAverage(b *testing.B) {
+	benchPredictor(b, predict.NewMovingAverage(predict.DefaultWindow))
+}
+
+func BenchmarkPredictExpSmoothing(b *testing.B) {
+	benchPredictor(b, predict.NewExpSmoothing(0.5, "Exp. smoothing 50%"))
+}
+
+func BenchmarkPredictSlidingWindowMedian(b *testing.B) {
+	benchPredictor(b, predict.NewSlidingWindowMedian(predict.DefaultWindow))
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkTraceGenerateDay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = trace.Generate(trace.Config{Seed: uint64(i + 1), Days: 1})
+	}
+}
+
+func BenchmarkEmulatorDay(b *testing.B) {
+	cfg := emulator.TableIConfigs()[0]
+	cfg.Steps = 720
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		_ = emulator.Run(cfg)
+	}
+}
+
+func BenchmarkMLPTrainingEra(b *testing.B) {
+	r := xrand.New(1)
+	m, err := neural.NewMLP(r, 6, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := make([]neural.Sample, 720)
+	for i := range samples {
+		in := make([]float64, 6)
+		for j := range in {
+			in[j] = r.Float64()
+		}
+		samples[i] = neural.Sample{In: in, Target: []float64{r.Float64()}}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range samples {
+			m.Train(s.In, s.Target, 0.01, 0.5)
+		}
+	}
+}
+
+func BenchmarkMatcherAllocate(b *testing.B) {
+	centers := datacenter.BuildCenters(datacenter.TableIIISites(), datacenter.Policies()[:2])
+	m := ecosystem.NewMatcher(centers)
+	game := mmog.NewGame("bench", mmog.GenreMMORPG)
+	now := time.Date(2007, 8, 18, 0, 0, 0, 0, time.UTC)
+	origin := trace.DefaultRegions()[0].Location
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var req datacenter.Vector
+		req[datacenter.CPU] = 0.01
+		_, _ = m.Allocate(ecosystem.Request{
+			Tag:           "bench",
+			Origin:        origin,
+			MaxDistanceKm: game.LatencyKm,
+			Demand:        req,
+		}, now)
+		now = now.Add(time.Second)
+		if i%256 == 255 {
+			m.Expire(now.Add(24 * time.Hour))
+		}
+	}
+}
+
+// ---- ablation benches (DESIGN.md design choices) ----
+
+// BenchmarkAblationNeuralResidualVsDirect compares the residual-output
+// neural predictor (the default) against the direct-output variant on
+// an emulated signal; the reported custom metric is the prediction
+// error of each.
+func BenchmarkAblationNeuralResidualVsDirect(b *testing.B) {
+	cfg := emulator.TableIConfigs()[1]
+	cfg.Steps = 240
+	cfg.GridW, cfg.GridH = 8, 8
+	cfg.Entities = 600
+	collect := cfg
+	collect.Seed += 1000
+	collected := zonesOf(emulator.Run(collect))
+	zones := zonesOf(emulator.Run(cfg))
+	tc := predict.PaperTrainConfig(9)
+	tc.MaxEras = 15
+
+	b.ResetTimer()
+	var residErr, directErr float64
+	for i := 0; i < b.N; i++ {
+		rc := predict.PaperNeuralConfig(7)
+		rc.Degree = -1
+		rf, _ := predict.PretrainShared(rc, collected, 0.8, tc)
+		residErr = predict.EvaluateZonesFrom(rf, zones, 1)
+
+		dc := rc
+		dc.Direct = true
+		df, _ := predict.PretrainShared(dc, collected, 0.8, tc)
+		directErr = predict.EvaluateZonesFrom(df, zones, 1)
+	}
+	b.ReportMetric(residErr, "residual-err-%")
+	b.ReportMetric(directErr, "direct-err-%")
+}
+
+// BenchmarkAblationShuffledTraining compares era training with and
+// without per-era sample shuffling (DESIGN.md: unshuffled zone-grouped
+// samples cause catastrophic interference).
+func BenchmarkAblationShuffledTraining(b *testing.B) {
+	// Full-size sets: the interference from zone-grouped sample order
+	// needs enough eras and data to show (unshuffled training stalls
+	// into premature convergence with a visibly worse test loss).
+	cfg := emulator.TableIConfigs()[1]
+	collected := zonesOf(emulator.Run(cfg))
+
+	var shuffled, unshuffled float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc := predict.PaperTrainConfig(9)
+		tc.MaxEras = 60
+		nc := predict.PaperNeuralConfig(7)
+		nc.Degree = -1
+		_, res := predict.PretrainShared(nc, collected, 0.8, tc)
+		shuffled = res.TestLoss
+
+		tc.ShuffleSeed = 0
+		_, res = predict.PretrainShared(nc, collected, 0.8, tc)
+		unshuffled = res.TestLoss
+	}
+	b.ReportMetric(shuffled, "shuffled-loss")
+	b.ReportMetric(unshuffled, "unshuffled-loss")
+}
+
+func zonesOf(ds *emulator.DataSet) [][]float64 {
+	out := make([][]float64, len(ds.Zones))
+	for z, s := range ds.Zones {
+		out[z] = s.Values
+	}
+	return out
+}
+
+func BenchmarkExt04Reservations(b *testing.B) { benchExperiment(b, "ext04") }
+
+func BenchmarkExt05Interaction(b *testing.B) { benchExperiment(b, "ext05") }
+
+func BenchmarkExt06Bandwidth(b *testing.B) { benchExperiment(b, "ext06") }
+
+func BenchmarkExt07Margin(b *testing.B) { benchExperiment(b, "ext07") }
+
+func BenchmarkExt08Failure(b *testing.B) { benchExperiment(b, "ext08") }
+
+func BenchmarkExt09Horizon(b *testing.B) { benchExperiment(b, "ext09") }

@@ -1,0 +1,69 @@
+// Command analyze characterizes an MMOG population trace the way the
+// paper's Section III characterizes RuneScape: per-region load ranges,
+// cross-group variability (IQR), autocorrelation structure (diurnal
+// cycle detection), saturated-world detection, and an ASCII chart of
+// the global population.
+//
+// Usage:
+//
+//	tracegen -days 14 -out trace.csv && analyze -trace trace.csv
+//	analyze                      # analyze a freshly generated trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmogdc/internal/analysis"
+	"mmogdc/internal/plot"
+	"mmogdc/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "CSV trace to analyze (default: generate one)")
+		days      = flag.Int("days", 14, "days to generate when no trace is given")
+		seed      = flag.Uint64("seed", 42, "seed for the generated trace")
+	)
+	flag.Parse()
+
+	var ds *trace.Dataset
+	if *traceFile == "" {
+		ds = trace.Generate(trace.Config{Seed: *seed, Days: *days})
+	} else {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		var rerr error
+		ds, rerr = trace.ReadCSV(f)
+		f.Close()
+		if rerr != nil {
+			fatal(rerr)
+		}
+	}
+
+	global, err := ds.GlobalLoad()
+	if err != nil {
+		fatal(err)
+	}
+	chart := plot.Chart{
+		Title:  "global active concurrent players",
+		YLabel: "players", XLabel: "time",
+		Series: []plot.Series{{Name: "population", Values: global.Resample(30).Values}},
+	}
+	fmt.Print(chart.Render())
+	fmt.Println()
+
+	report, err := analysis.Characterize(ds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(report.Render())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig08 [-days 14] [-seed 42] [-quick]
+//	experiments -all
+//
+// Each experiment prints a plain-text report; DESIGN.md maps the
+// experiment IDs to the paper artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mmogdc/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list the available experiments")
+		run    = flag.String("run", "", "run one experiment by id (e.g. tab05)")
+		all    = flag.Bool("all", false, "run every experiment in paper order")
+		days   = flag.Int("days", 0, "provisioning trace length in days (default 14)")
+		seed   = flag.Uint64("seed", 0, "random seed (default 42)")
+		quick  = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		outDir = flag.String("out", "", "also write each report to <dir>/<id>.txt")
+	)
+	flag.Parse()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	writeOut = *outDir
+
+	opts := experiments.Options{Days: *days, Seed: *seed, Quick: *quick}
+
+	switch {
+	case *list:
+		for _, s := range experiments.All() {
+			fmt.Printf("%-7s %-24s %s\n", s.ID, s.Artifact, s.Title)
+		}
+	case *run != "":
+		spec, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		execute(spec, opts)
+	case *all:
+		for _, s := range experiments.All() {
+			execute(s, opts)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeOut is the optional per-report output directory.
+var writeOut string
+
+func execute(s experiments.Spec, opts experiments.Options) {
+	start := time.Now()
+	out, err := s.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
+		os.Exit(1)
+	}
+	fmt.Printf("==== %s (%s) ====\n\n%s\n[%s in %.1fs]\n\n", s.ID, s.Artifact, out, s.ID, time.Since(start).Seconds())
+	if writeOut != "" {
+		path := filepath.Join(writeOut, s.ID+".txt")
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Command mmogsim runs one dynamic-provisioning simulation end to end:
+// it generates (or loads) a population trace, pretrains the neural
+// predictor on an earlier observation window, simulates the
+// request-offer matching against the Table III data centers, and
+// reports the paper's three metrics.
+//
+// Usage:
+//
+//	mmogsim -days 14 -update "O(n^2)" -policy HP-1,HP-2
+//	mmogsim -trace trace.csv -predictor lastvalue -static
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mmogdc/internal/core"
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/predict"
+	"mmogdc/internal/trace"
+)
+
+func main() {
+	var (
+		days      = flag.Int("days", 14, "generated trace length in days")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		traceFile = flag.String("trace", "", "load a CSV trace instead of generating one")
+		update    = flag.String("update", "O(n^2)", "update model: O(n), O(n log n), O(n^2), O(n^2 log n), O(n^3)")
+		policy    = flag.String("policy", "HP-1,HP-2", "comma-separated Table IV policies (or 'optimal') assigned round-robin")
+		predictor = flag.String("predictor", "neural", "neural|average|lastvalue|movingavg|median|expsmoothing")
+		static    = flag.Bool("static", false, "static (peak-capacity) provisioning instead of dynamic")
+		margin    = flag.Float64("margin", 0, "safety margin on predicted demand (e.g. 0.1 = +10%)")
+	)
+	flag.Parse()
+
+	ds, err := loadTrace(*traceFile, *seed, *days)
+	if err != nil {
+		fatal(err)
+	}
+	game, err := gameFor(*update)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{Static: *static, SafetyMargin: *margin}
+	if !*static {
+		policies, err := parsePolicies(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Centers = datacenter.BuildCenters(datacenter.TableIIISites(), policies)
+		f, err := factoryFor(*predictor, *seed, *days)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Workloads = []core.Workload{{Game: game, Dataset: ds, Predictor: f}}
+	} else {
+		cfg.Workloads = []core.Workload{{Game: game, Dataset: ds}}
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	mode := "dynamic"
+	if *static {
+		mode = "static"
+	}
+	fmt.Printf("mode=%s update=%s groups=%d ticks=%d\n", mode, game.Update, len(ds.Groups), res.Ticks)
+	for _, r := range datacenter.AllResources {
+		fmt.Printf("  %-12s over-allocation %8.2f%%   under-allocation %8.3f%%\n",
+			r, res.AvgOverPct[r], res.AvgUnderPct[r])
+	}
+	fmt.Printf("  significant under-allocation events (|Y|>1%%): %d / %d ticks\n", res.Events, res.Ticks)
+	if res.Unmet > 0 {
+		fmt.Printf("  WARNING: %d ticks with unmet demand (capacity or latency bound)\n", res.Unmet)
+	}
+}
+
+func loadTrace(path string, seed uint64, days int) (*trace.Dataset, error) {
+	if path == "" {
+		return trace.Generate(trace.Config{Seed: seed, Days: days}), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadCSV(f)
+}
+
+func gameFor(update string) (*mmog.Game, error) {
+	g := mmog.NewGame("mmogsim", mmog.GenreMMORPG)
+	norm := strings.ReplaceAll(strings.ToLower(update), " ", "")
+	switch norm {
+	case "o(n)":
+		g.Update = mmog.UpdateLinear
+	case "o(nlogn)", "o(nxlog(n))":
+		g.Update = mmog.UpdateNLogN
+	case "o(n^2)", "o(n2)":
+		g.Update = mmog.UpdateQuadratic
+	case "o(n^2logn)", "o(n^2xlog(n))", "o(n2logn)":
+		g.Update = mmog.UpdateQuadraticLog
+	case "o(n^3)", "o(n3)":
+		g.Update = mmog.UpdateCubic
+	default:
+		return nil, fmt.Errorf("unknown update model %q", update)
+	}
+	return g, nil
+}
+
+func parsePolicies(spec string) ([]datacenter.HostingPolicy, error) {
+	var out []datacenter.HostingPolicy
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if strings.EqualFold(name, "optimal") {
+			out = append(out, datacenter.OptimalPolicy())
+			continue
+		}
+		p, err := datacenter.PolicyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no policies given")
+	}
+	return out, nil
+}
+
+func factoryFor(name string, seed uint64, days int) (predict.Factory, error) {
+	switch strings.ToLower(name) {
+	case "neural":
+		shadowDays := 2
+		if days < 2 {
+			shadowDays = 1
+		}
+		shadow := trace.Generate(trace.Config{Seed: seed + 1, Days: shadowDays})
+		collected := make([][]float64, len(shadow.Groups))
+		for i, g := range shadow.Groups {
+			collected[i] = g.Load.Values
+		}
+		f, _ := predict.PretrainShared(predict.PaperNeuralConfig(seed+3), collected, 0.8,
+			predict.PaperTrainConfig(seed+2))
+		return f, nil
+	case "average":
+		return predict.NewAverage(), nil
+	case "lastvalue":
+		return predict.NewLastValue(), nil
+	case "movingavg":
+		return predict.NewMovingAverage(predict.DefaultWindow), nil
+	case "median":
+		return predict.NewSlidingWindowMedian(predict.DefaultWindow), nil
+	case "expsmoothing":
+		return predict.NewExpSmoothing(0.5, "Exp. smoothing 50%"), nil
+	default:
+		return nil, fmt.Errorf("unknown predictor %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

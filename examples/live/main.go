@@ -1,0 +1,112 @@
+// Live: online provisioning of a running game world.
+//
+// The other examples replay recorded traces; this one closes the loop
+// the paper's architecture describes — in-game monitoring feeding the
+// predictor feeding the resource requests — against a *live* game: the
+// emulator steps a world in one goroutine and streams per-sub-zone
+// entity counts over a channel, and an internal/operator Operator
+// predicts each zone's next two minutes, converts the forecasts into
+// demand, and leases the shortfall from the data centers, tick by tick.
+//
+//	go run ./examples/live
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/ecosystem"
+	"mmogdc/internal/emulator"
+	"mmogdc/internal/geo"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/operator"
+	"mmogdc/internal/predict"
+)
+
+// sample is one monitoring snapshot: the per-sub-zone entity counts.
+type sample struct {
+	step   int
+	counts []int
+}
+
+func main() {
+	// The live game: Table I "Set 5" (peak hours, mixed profiles).
+	cfg := emulator.TableIConfigs()[4]
+	cfg.Steps = 360 // half a simulated day
+
+	// Offline phases first: observe an earlier day of the same game
+	// and train the network on the collected sub-zone samples.
+	collectCfg := cfg
+	collectCfg.Seed += 1000
+	collectCfg.Steps = 720
+	collectRun := emulator.Run(collectCfg)
+	collected := make([][]float64, len(collectRun.Zones))
+	for i, z := range collectRun.Zones {
+		collected[i] = z.Values
+	}
+	ncfg := predict.PaperNeuralConfig(7)
+	ncfg.Degree = -1
+	factory, report := predict.PretrainShared(ncfg, collected, 0.8, predict.PaperTrainConfig(9))
+	fmt.Printf("offline training: %d eras, converged=%v\n\n", report.Eras, report.Converged)
+
+	// In-game monitoring: a producer goroutine steps the world and
+	// streams snapshots; closing the channel ends the session.
+	world := emulator.NewWorld(cfg)
+	samples := make(chan sample, 8)
+	go func() {
+		defer close(samples)
+		for s := 0; s < cfg.Steps; s++ {
+			world.Step()
+			samples <- sample{step: s, counts: world.ZoneCounts()}
+		}
+	}()
+
+	// The operator: predictors, demand conversion, and leasing wired
+	// together by internal/operator.
+	centers := []*datacenter.Center{
+		datacenter.NewCenter("local", geo.Amsterdam, 2, datacenter.OptimalPolicy()),
+		datacenter.NewCenter("nearby", geo.London, 2, datacenter.OptimalPolicy()),
+	}
+	op, err := operator.New(operator.Config{
+		Game:      mmog.NewGame("live", mmog.GenreRPG), // O(n log n): sensible per-sub-zone demand
+		Origin:    geo.Amsterdam,
+		Predictor: factory,
+		Matcher:   ecosystem.NewMatcher(centers),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	now := time.Date(2008, 3, 1, 0, 0, 0, 0, time.UTC)
+	for s := range samples {
+		values := make([]float64, len(s.counts))
+		var population float64
+		for i, n := range s.counts {
+			values[i] = float64(n)
+			population += values[i]
+		}
+		if err := op.Observe(now, values); err != nil {
+			log.Fatal(err)
+		}
+
+		if s.step%60 == 59 { // every two simulated hours
+			var forecast float64
+			for _, f := range op.Forecast() {
+				forecast += f
+			}
+			allocated := centers[0].Allocated().Add(centers[1].Allocated())
+			fmt.Printf("t=%3dm  population %4.0f  forecast %4.0f  allocated CPU %.2f units  cost so far %.2f\n",
+				(s.step+1)*2, population, forecast,
+				allocated[datacenter.CPU], datacenter.TotalCostOf(centers))
+		}
+		now = now.Add(2 * time.Minute)
+	}
+
+	m := op.Metrics()
+	fmt.Printf("\nsession over: %d ticks, over-allocation %.1f%%, mean shortfall %.4f units,\n",
+		m.Ticks, m.AvgOverPct, m.AvgShortfall)
+	fmt.Printf("disruptive ticks %d, total rental cost %.2f\n",
+		m.Events, datacenter.TotalCostOf(centers))
+}

@@ -1,0 +1,69 @@
+// Provisioning: how hosting policies shape allocation efficiency.
+//
+// The example sweeps the CPU resource bulk and the time bulk of a
+// data-center hosting policy (the Sections V-D experiments) for a
+// single game, showing the trade-off the paper identifies: coarse
+// bulks waste resources, fine bulks risk under-allocation events, and
+// long reservations pin resources long past their need.
+//
+//	go run ./examples/provisioning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mmogdc/internal/core"
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/predict"
+	"mmogdc/internal/trace"
+)
+
+func main() {
+	dataset := trace.Generate(trace.Config{Seed: 9, Days: 3})
+	game := mmog.NewGame("sweep", mmog.GenreMMORPG)
+	predictor := predict.NewLastValue()
+
+	run := func(p datacenter.HostingPolicy) *core.Result {
+		centers := datacenter.BuildCenters(datacenter.TableIIISites(),
+			[]datacenter.HostingPolicy{p})
+		res, err := core.Run(core.Config{
+			Centers:   centers,
+			Workloads: []core.Workload{{Game: game, Dataset: dataset, Predictor: predictor}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Println("CPU resource-bulk sweep (time bulk fixed at 3h):")
+	fmt.Printf("%8s %12s %12s %8s\n", "bulk", "over [%]", "under [%]", "events")
+	for _, bulk := range []float64{0.1, 0.25, 0.5, 1.0} {
+		var b datacenter.Vector
+		b[datacenter.CPU] = bulk
+		b[datacenter.Memory] = 2
+		p := datacenter.HostingPolicy{Name: "sweep", Bulk: b, TimeBulk: 3 * time.Hour}
+		res := run(p)
+		fmt.Printf("%8.2f %12.2f %12.3f %8d\n", bulk,
+			res.AvgOverPct[datacenter.CPU], res.AvgUnderPct[datacenter.CPU], res.Events)
+	}
+
+	fmt.Println("\ntime-bulk sweep (CPU bulk fixed at 0.37 units):")
+	fmt.Printf("%8s %12s %12s %8s\n", "hours", "over [%]", "under [%]", "events")
+	for _, hours := range []int{1, 3, 12, 48} {
+		var b datacenter.Vector
+		b[datacenter.CPU] = 0.37
+		b[datacenter.Memory] = 2
+		p := datacenter.HostingPolicy{Name: "sweep", Bulk: b, TimeBulk: time.Duration(hours) * time.Hour}
+		res := run(p)
+		fmt.Printf("%8d %12.2f %12.3f %8d\n", hours,
+			res.AvgOverPct[datacenter.CPU], res.AvgUnderPct[datacenter.CPU], res.Events)
+	}
+
+	fmt.Println("\ncoarse bulks and long reservations inflate over-allocation; the finest")
+	fmt.Println("bulks trade it for under-allocation events — pick by the game's tolerance")
+	fmt.Println("to resource shortages (Section V-D).")
+}

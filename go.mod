@@ -1,0 +1,3 @@
+module mmogdc
+
+go 1.22

@@ -1,0 +1,151 @@
+// End-to-end integration tests: the full pipeline from trace
+// generation through predictor pretraining, ecosystem matching, and
+// metric collection, exercised the way the cmd/ tools drive it.
+package mmogdc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mmogdc/internal/core"
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/predict"
+	"mmogdc/internal/trace"
+)
+
+// TestEndToEndDynamicProvisioning runs the whole stack on a small but
+// realistic configuration and checks the paper's headline claims hold
+// on it.
+func TestEndToEndDynamicProvisioning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// 1. Two days of population data plus a one-day collection trace.
+	dataset := trace.Generate(trace.Config{Seed: 11, Days: 2})
+	shadow := trace.Generate(trace.Config{Seed: 12, Days: 1})
+	collected := make([][]float64, len(shadow.Groups))
+	for i, g := range shadow.Groups {
+		collected[i] = g.Load.Values
+	}
+
+	// 2. The paper's neural predictor, offline-trained.
+	neural, report := predict.PretrainShared(
+		predict.PaperNeuralConfig(13), collected, 0.8, predict.PaperTrainConfig(14))
+	if report.Eras == 0 {
+		t.Fatal("offline training did not run")
+	}
+
+	// 3. The Table III ecosystem under HP-1/HP-2.
+	game := mmog.NewGame("integration", mmog.GenreMMORPG)
+	run := func(f predict.Factory) *core.Result {
+		res, err := core.Run(core.Config{
+			Centers:   datacenter.BuildCenters(datacenter.TableIIISites(), datacenter.Policies()[:2]),
+			Workloads: []core.Workload{{Game: game, Dataset: dataset, Predictor: f}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	neuralRes := run(neural)
+	averageRes := run(predict.NewAverage())
+
+	static, err := core.Run(core.Config{
+		Static:    true,
+		Workloads: []core.Workload{{Game: game, Dataset: dataset}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Headline claim 1: dynamic provisioning over-allocates far less
+	// than static.
+	if neuralRes.AvgOverPct[datacenter.CPU] >= static.AvgOverPct[datacenter.CPU] {
+		t.Errorf("dynamic over-allocation %.1f%% should beat static %.1f%%",
+			neuralRes.AvgOverPct[datacenter.CPU], static.AvgOverPct[datacenter.CPU])
+	}
+	// Headline claim 2: the neural predictor disrupts game play far
+	// less often than the cumulative-average strawman.
+	if neuralRes.Events*10 > averageRes.Events {
+		t.Errorf("neural events %d should be at least 10x below average's %d",
+			neuralRes.Events, averageRes.Events)
+	}
+	// Sanity: the disruption level stays under the paper's 3%-of-ticks
+	// bound for well-predicted dynamic provisioning.
+	if float64(neuralRes.Events) > 0.03*float64(neuralRes.Ticks) {
+		t.Errorf("neural events %d exceed 3%% of %d ticks", neuralRes.Events, neuralRes.Ticks)
+	}
+}
+
+// TestEndToEndTraceRoundTripThroughSimulation serializes a trace to
+// CSV, loads it back, and confirms the simulation produces identical
+// metrics — the cmd/tracegen -> cmd/mmogsim workflow.
+func TestEndToEndTraceRoundTripThroughSimulation(t *testing.T) {
+	ds := trace.Generate(trace.Config{Seed: 21, Days: 1, Regions: []trace.Region{
+		trace.DefaultRegions()[0],
+	}})
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	game := mmog.NewGame("roundtrip", mmog.GenreRPG)
+	run := func(d *trace.Dataset) *core.Result {
+		res, err := core.Run(core.Config{
+			Centers: datacenter.BuildCenters(datacenter.TableIIISites(),
+				[]datacenter.HostingPolicy{datacenter.OptimalPolicy()}),
+			Workloads: []core.Workload{{Game: game, Dataset: d, Predictor: predict.NewLastValue()}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(ds), run(loaded)
+	if a.Events != b.Events {
+		t.Errorf("events differ after CSV round trip: %d vs %d", a.Events, b.Events)
+	}
+	// CSV stores one decimal per sample; the over-allocation averages
+	// must agree tightly.
+	if math.Abs(a.AvgOverPct[datacenter.CPU]-b.AvgOverPct[datacenter.CPU]) > 0.5 {
+		t.Errorf("over-allocation differs after round trip: %v vs %v",
+			a.AvgOverPct[datacenter.CPU], b.AvgOverPct[datacenter.CPU])
+	}
+}
+
+// TestEndToEndLatencyConstrainedGame drives the geographic matching:
+// a latency-bound game must be served only from admissible centers.
+func TestEndToEndLatencyConstrainedGame(t *testing.T) {
+	regions := []trace.Region{trace.DefaultRegions()[0]} // Europe only
+	ds := trace.Generate(trace.Config{Seed: 31, Days: 1, Regions: regions})
+	game := mmog.NewGame("latency", mmog.GenreFPS)
+	game.LatencyKm = 1000 // very close: Europe only
+
+	centers := datacenter.BuildCenters(datacenter.TableIIISites(),
+		[]datacenter.HostingPolicy{datacenter.OptimalPolicy()})
+	res, err := core.Run(core.Config{
+		Centers:      centers,
+		TrackCenters: true,
+		Workloads:    []core.Workload{{Game: game, Dataset: ds, Predictor: predict.NewLastValue()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range centers {
+		cs := res.CenterStats[c.Name]
+		isEU := c.Name == "U.K. (1)" || c.Name == "U.K. (2)" ||
+			c.Name == "Netherlands (1)" || c.Name == "Netherlands (2)" ||
+			c.Name == "Finland (1)" || c.Name == "Finland (2)" ||
+			c.Name == "Sweden (1)" || c.Name == "Sweden (2)"
+		if !isEU && cs.AvgAllocatedCPU > 0 {
+			t.Errorf("non-European center %s served a 1000km-bound European game (%.2f CPU)",
+				c.Name, cs.AvgAllocatedCPU)
+		}
+	}
+}

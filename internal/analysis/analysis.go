@@ -1,0 +1,129 @@
+// Package analysis characterizes MMOG population traces the way the
+// paper's Section III characterizes RuneScape: per-region load ranges
+// and cross-group variability, autocorrelation structure (the diurnal
+// cycle and its 12-hour anti-phase), global population statistics, and
+// saturated-world detection. cmd/analyze wraps it for the command
+// line; tests pin the properties the synthetic generator must exhibit.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"mmogdc/internal/stats"
+	"mmogdc/internal/trace"
+)
+
+// RegionReport characterizes one region's server groups.
+type RegionReport struct {
+	// Name is the region label.
+	Name string
+	// Groups is the number of server groups.
+	Groups int
+	// MinMean, MedianMean, MaxMean are the time-averaged
+	// cross-sectional minimum, median, and maximum group loads
+	// (the Fig. 3 top subplot, summarized).
+	MinMean, MedianMean, MaxMean float64
+	// IQRMean is the time-averaged cross-group interquartile range
+	// (the Fig. 3 middle subplot, summarized).
+	IQRMean float64
+	// ACF24 and ACF12 are the regional load's autocorrelation around
+	// the 24-hour lag (peak) and 12-hour lag (trough); zero when the
+	// trace is too short to evaluate them.
+	ACF24, ACF12 float64
+}
+
+// Report characterizes a whole dataset.
+type Report struct {
+	// Groups and Samples give the trace dimensions.
+	Groups, Samples int
+	// GlobalMin/Mean/Peak describe the total concurrent population.
+	GlobalMin, GlobalMean, GlobalPeak float64
+	// Regions holds the per-region breakdowns in dataset order.
+	Regions []RegionReport
+	// SaturatedWorlds counts groups whose median load exceeds 90% of
+	// capacity (the paper's always-nearly-full special worlds).
+	SaturatedWorlds int
+}
+
+// hourStride samples cross-sectional statistics hourly; the per-tick
+// resolution adds nothing to time averages.
+const hourStride = 30
+
+// Characterize computes the report for a dataset.
+func Characterize(ds *trace.Dataset) (*Report, error) {
+	global, err := ds.GlobalLoad()
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		Groups:     len(ds.Groups),
+		Samples:    ds.Samples(),
+		GlobalMin:  stats.Min(global.Values),
+		GlobalMean: stats.Mean(global.Values),
+		GlobalPeak: stats.Max(global.Values),
+	}
+
+	for _, reg := range ds.Regions {
+		groups := ds.RegionGroups(reg.ID)
+		if len(groups) == 0 {
+			continue
+		}
+		rr := RegionReport{Name: reg.Name, Groups: len(groups)}
+		n := ds.Samples()
+		k := 0
+		for t := 0; t < n; t += hourStride {
+			xs := make([]float64, len(groups))
+			for i, g := range groups {
+				xs[i] = g.Load.At(t)
+			}
+			rr.MinMean += stats.Min(xs)
+			rr.MedianMean += stats.Median(xs)
+			rr.MaxMean += stats.Max(xs)
+			rr.IQRMean += stats.IQR(xs)
+			k++
+		}
+		if k > 0 {
+			rr.MinMean /= float64(k)
+			rr.MedianMean /= float64(k)
+			rr.MaxMean /= float64(k)
+			rr.IQRMean /= float64(k)
+		}
+		regional, err := ds.RegionLoad(reg.ID)
+		if err != nil {
+			return nil, err
+		}
+		if regional.Len() > 740 {
+			acf := stats.ACF(regional.Values, 740)
+			_, rr.ACF24 = stats.ArgMax(acf, 700, 740)
+			_, rr.ACF12 = stats.ArgMin(acf, 340, 380)
+		}
+		r.Regions = append(r.Regions, rr)
+	}
+
+	for _, g := range ds.Groups {
+		if stats.Median(g.Load.Values) > 0.9*trace.GroupCapacity {
+			r.SaturatedWorlds++
+		}
+	}
+	return r, nil
+}
+
+// Render formats the report as text.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d server groups, %d samples (%.1f days at 2-minute ticks)\n",
+		r.Groups, r.Samples, float64(r.Samples)/trace.SamplesPerDay)
+	fmt.Fprintf(&b, "global population: min %.0f, mean %.0f, peak %.0f (peak/mean %.2f)\n\n",
+		r.GlobalMin, r.GlobalMean, r.GlobalPeak, r.GlobalPeak/r.GlobalMean)
+	fmt.Fprintf(&b, "%-16s %7s %8s %8s %8s %10s %10s %10s\n",
+		"region", "groups", "min", "median", "max", "IQR mean", "ACF@24h", "ACF@12h")
+	for _, rr := range r.Regions {
+		fmt.Fprintf(&b, "%-16s %7d %8.0f %8.0f %8.0f %10.0f %10.2f %10.2f\n",
+			rr.Name, rr.Groups, rr.MinMean, rr.MedianMean, rr.MaxMean,
+			rr.IQRMean, rr.ACF24, rr.ACF12)
+	}
+	fmt.Fprintf(&b, "\nsaturated worlds (median load > 90%% capacity): %d/%d (paper: 2-5%%)\n",
+		r.SaturatedWorlds, r.Groups)
+	return b.String()
+}

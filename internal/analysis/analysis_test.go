@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"mmogdc/internal/geo"
+	"mmogdc/internal/trace"
+)
+
+func TestCharacterizeSmallTrace(t *testing.T) {
+	ds := trace.Generate(trace.Config{Seed: 7, Days: 2, Regions: []trace.Region{
+		{ID: 0, Name: "Europe", Location: geo.London, Groups: 8},
+		{ID: 1, Name: "US East Coast", Location: geo.NewYork, UTCOffsetHours: -5, Groups: 4},
+	}})
+	r, err := Characterize(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Groups != 12 || r.Samples != 2*trace.SamplesPerDay {
+		t.Fatalf("dimensions = %d groups, %d samples", r.Groups, r.Samples)
+	}
+	if !(r.GlobalMin <= r.GlobalMean && r.GlobalMean <= r.GlobalPeak) {
+		t.Fatalf("global stats disordered: %v %v %v", r.GlobalMin, r.GlobalMean, r.GlobalPeak)
+	}
+	if len(r.Regions) != 2 {
+		t.Fatalf("regions = %d", len(r.Regions))
+	}
+	for _, rr := range r.Regions {
+		if !(rr.MinMean <= rr.MedianMean && rr.MedianMean <= rr.MaxMean) {
+			t.Fatalf("%s: cross-sectional stats disordered", rr.Name)
+		}
+		if rr.IQRMean < 0 {
+			t.Fatalf("%s: negative IQR", rr.Name)
+		}
+		// Two-day traces can evaluate the 24h lag.
+		if rr.ACF24 < 0.3 {
+			t.Errorf("%s: ACF@24h = %v, diurnal cycle missing", rr.Name, rr.ACF24)
+		}
+		if rr.ACF12 > 0 {
+			t.Errorf("%s: ACF@12h = %v, want negative trough", rr.Name, rr.ACF12)
+		}
+	}
+}
+
+func TestCharacterizeSaturatedDetection(t *testing.T) {
+	ds := trace.Generate(trace.Config{Seed: 11, Days: 1, SaturatedFraction: 0.9,
+		Regions: []trace.Region{{ID: 0, Name: "x", Location: geo.London, Groups: 10}}})
+	r, err := Characterize(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SaturatedWorlds < 5 {
+		t.Fatalf("saturated worlds = %d with 90%% fraction", r.SaturatedWorlds)
+	}
+}
+
+func TestCharacterizeShortTraceSkipsACF(t *testing.T) {
+	// Under one day: the 24h lag cannot be evaluated; ACFs stay zero.
+	cfg := trace.Config{Seed: 13, Days: 1,
+		Regions: []trace.Region{{ID: 0, Name: "x", Location: geo.London, Groups: 3}}}
+	ds := trace.Generate(cfg)
+	// Trim to half a day.
+	for _, g := range ds.Groups {
+		g.Load.Values = g.Load.Values[:trace.SamplesPerDay/2]
+	}
+	r, err := Characterize(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Regions[0].ACF24 != 0 || r.Regions[0].ACF12 != 0 {
+		t.Fatalf("short trace evaluated ACF: %+v", r.Regions[0])
+	}
+}
+
+func TestCharacterizeEmptyDataset(t *testing.T) {
+	if _, err := Characterize(&trace.Dataset{}); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestRenderContainsSections(t *testing.T) {
+	ds := trace.Generate(trace.Config{Seed: 17, Days: 1,
+		Regions: []trace.Region{{ID: 0, Name: "Europe", Location: geo.London, Groups: 4}}})
+	r, err := Characterize(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"global population", "Europe", "saturated worlds", "ACF@24h"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

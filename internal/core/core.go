@@ -1,0 +1,500 @@
+// Package core implements the paper's trace-driven resource
+// provisioning simulation (Section V). Every two simulated minutes the
+// game operator predicts the load of each server group (the number of
+// players, converted into a resource demand through the game's
+// interaction/update model), requests the missing resources from the
+// data-center ecosystem, and lets unneeded leases lapse when their
+// time bulk expires. The simulator measures the three metrics of the
+// paper:
+//
+//   - resource over-allocation Ω(t) (Equation 1): the cumulated
+//     allocation over the cumulated load, reported here as the
+//     percentage allocated *beyond* the load (Ω−100%);
+//   - resource under-allocation Υ(t) (Equation 2): the average
+//     per-server shortfall, where over-allocation on one server cannot
+//     compensate a shortfall on another;
+//   - significant under-allocation events: ticks where |Υ| > 1%,
+//     i.e. moments when the game play is disrupted.
+//
+// The static alternative provisions each server group for its peak
+// demand up front and never adjusts.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/ecosystem"
+	"mmogdc/internal/geo"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/predict"
+	"mmogdc/internal/trace"
+)
+
+// SignificantUnderPct is the |Υ| threshold (in percent) above which an
+// under-allocation is disruptive (Section V).
+const SignificantUnderPct = 1.0
+
+// Workload is one MMOG operated on the ecosystem: a game design (the
+// update model and latency tolerance), the population trace of its
+// server groups, and the predictor driving its requests.
+type Workload struct {
+	// Game fixes the update model, resource profile, and latency
+	// tolerance.
+	Game *mmog.Game
+	// Dataset provides the per-server-group player counts.
+	Dataset *trace.Dataset
+	// Predictor builds one predictor per server group (dynamic mode).
+	Predictor predict.Factory
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Workloads are the games sharing the ecosystem.
+	Workloads []Workload
+	// Centers is the data-center ecosystem (ignored in static mode).
+	Centers []*datacenter.Center
+	// Static provisions each server group for its trace-wide peak
+	// demand instead of predicting and leasing dynamically.
+	Static bool
+	// SafetyMargin inflates predicted demand by this fraction before
+	// requesting (0 = request exactly the prediction).
+	SafetyMargin float64
+	// TrackCenters enables the per-center accounting used by the
+	// latency experiments (Figs. 13 and 14).
+	TrackCenters bool
+	// PrioritizeByInteraction orders each tick's resource requests by
+	// the game's update-model complexity, most compute-intensive
+	// first — the extension the paper proposes as future work in
+	// Section V-F ("the impact of prioritizing the resource requests
+	// according to the interaction type of the MMOG"). Under capacity
+	// contention it hands the steepest demand curves first pick, which
+	// is where a shortfall hurts the most.
+	PrioritizeByInteraction bool
+	// Failures injects data-center outages: each takes the named
+	// center offline (dropping all its leases) at a tick and brings it
+	// back after a duration. The game operator re-acquires lost
+	// capacity through the normal per-tick requests.
+	Failures []Failure
+}
+
+// Failure is one scheduled data-center outage.
+type Failure struct {
+	// Center is the failing center's name.
+	Center string
+	// AtTick is the sample index the outage begins at.
+	AtTick int
+	// DurationTicks is the outage length in samples.
+	DurationTicks int
+}
+
+// Result collects the metrics of one run.
+type Result struct {
+	// Ticks is the number of scored samples.
+	Ticks int
+	// AvgOverPct is the mean over-allocation percentage per resource
+	// (Ω−100%), averaged over ticks with non-zero load.
+	AvgOverPct [datacenter.NumResources]float64
+	// AvgUnderPct is the mean under-allocation Υ per resource (<= 0).
+	AvgUnderPct [datacenter.NumResources]float64
+	// Events is the number of ticks with a significant
+	// under-allocation (|Υ| > 1%) on any resource.
+	Events int
+	// CumEvents is the running number of significant events per tick
+	// (Figs. 7 and 10).
+	CumEvents []int
+	// OverPct and UnderPct are the per-tick Ω−100% and Υ series for
+	// the CPU resource (Figs. 8 and 9).
+	OverPct  []float64
+	UnderPct []float64
+	// Unmet counts ticks where the ecosystem could not serve the full
+	// request (capacity exhausted within the latency bound).
+	Unmet int
+	// AvgUnderByGame is the mean CPU under-allocation per game,
+	// normalized by that game's own machine count — the per-operator
+	// view the interaction-prioritization extension is judged by.
+	AvgUnderByGame map[string]float64
+	// CenterStats maps center name to its accounting (TrackCenters).
+	CenterStats map[string]*CenterStats
+}
+
+// CenterStats accounts one center's CPU usage over a run.
+type CenterStats struct {
+	// AvgAllocatedCPU is the mean allocated CPU units over the run.
+	AvgAllocatedCPU float64
+	// AvgFreeCPU is the mean free CPU units.
+	AvgFreeCPU float64
+	// AllocatedByRegion splits AvgAllocatedCPU by the requesting
+	// region's name (Figs. 13/14 need to know whose demand each
+	// center served).
+	AllocatedByRegion map[string]float64
+}
+
+// zoneState tracks one server group during the simulation.
+type zoneState struct {
+	game      *mmog.Game
+	group     *trace.Group
+	region    trace.Region
+	predictor predict.Predictor
+	leases    []*datacenter.Lease
+	// static allocation (static mode only).
+	staticAlloc datacenter.Vector
+}
+
+// tag returns the request tag for accounting.
+func (z *zoneState) tag() string {
+	return fmt.Sprintf("%s/%s", z.game.Name, z.group.Name())
+}
+
+// activeAlloc sums the zone's live leases at time now, pruning dead
+// ones.
+func (z *zoneState) activeAlloc(now time.Time) datacenter.Vector {
+	var sum datacenter.Vector
+	live := z.leases[:0]
+	for _, l := range z.leases {
+		if l.Active(now) {
+			sum = sum.Add(l.Alloc)
+			live = append(live, l)
+		}
+	}
+	z.leases = live
+	return sum
+}
+
+// allocAt sums the leases that will still be active at time t, without
+// pruning. The acquire phase sizes requests against the allocation
+// surviving to the *next* scoring instant, so leases are renewed
+// before they lapse rather than one tick after.
+func (z *zoneState) allocAt(t time.Time) datacenter.Vector {
+	var sum datacenter.Vector
+	for _, l := range z.leases {
+		if l.Active(t) {
+			sum = sum.Add(l.Alloc)
+		}
+	}
+	return sum
+}
+
+// sanitizePrediction guards the simulation against misbehaving
+// predictors: negative, NaN, or infinite forecasts are treated as
+// zero demand (the operator requests nothing rather than poisoning
+// the allocation accounting).
+func sanitizePrediction(v float64) float64 {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// demandVector converts a player count into the datacenter resource
+// vector via the game's update model and resource profile.
+func demandVector(g *mmog.Game, players float64) datacenter.Vector {
+	d := g.DemandForEntities(players)
+	var v datacenter.Vector
+	v[datacenter.CPU] = d.CPU
+	v[datacenter.Memory] = d.Memory
+	v[datacenter.ExtNetIn] = d.ExtNetIn
+	v[datacenter.ExtNetOut] = d.ExtNetOut
+	return v
+}
+
+// Run executes the simulation and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("core: no workloads")
+	}
+	var zones []*zoneState
+	samples := 0
+	for _, w := range cfg.Workloads {
+		if w.Game == nil || w.Dataset == nil {
+			return nil, fmt.Errorf("core: workload needs game and dataset")
+		}
+		if samples == 0 {
+			samples = w.Dataset.Samples()
+		} else if w.Dataset.Samples() != samples {
+			return nil, fmt.Errorf("core: datasets disagree on length")
+		}
+		regions := map[int]trace.Region{}
+		for _, r := range w.Dataset.Regions {
+			regions[r.ID] = r
+		}
+		for _, g := range w.Dataset.Groups {
+			z := &zoneState{game: w.Game, group: g, region: regions[g.RegionID]}
+			if !cfg.Static {
+				if w.Predictor == nil {
+					return nil, fmt.Errorf("core: dynamic mode needs a predictor for game %s", w.Game.Name)
+				}
+				z.predictor = w.Predictor()
+			}
+			zones = append(zones, z)
+		}
+	}
+	if samples < 2 {
+		return nil, fmt.Errorf("core: need at least 2 samples")
+	}
+
+	if cfg.Static {
+		// Static provisioning reproduces the industry practice the
+		// paper describes: a dedicated infrastructure sized up front
+		// for each server group's peak demand.
+		for _, z := range zones {
+			peak := 0.0
+			for _, v := range z.group.Load.Values {
+				if v > peak {
+					peak = v
+				}
+			}
+			z.staticAlloc = demandVector(z.game, peak)
+		}
+	}
+
+	matcher := ecosystem.NewMatcher(cfg.Centers)
+	res := &Result{CenterStats: map[string]*CenterStats{}}
+	if cfg.TrackCenters {
+		for _, c := range cfg.Centers {
+			res.CenterStats[c.Name] = &CenterStats{AllocatedByRegion: map[string]float64{}}
+		}
+	}
+
+	// Per-resource accumulators for the averages.
+	var overSum, underSum [datacenter.NumResources]float64
+	var overTicks [datacenter.NumResources]int
+
+	// Per-game CPU accumulators (scratch maps reused across ticks).
+	gameAlloc := map[string]float64{}
+	gameShort := map[string]float64{}
+	gameUnderSum := map[string]float64{}
+
+	start := zones[0].group.Load.Start
+	tick := zones[0].group.Load.Tick
+
+	// The acquire order decides who gets first pick when capacity is
+	// contended. The default is submission order; with interaction
+	// prioritization, the most compute-intensive games go first.
+	acquireOrder := zones
+	if cfg.PrioritizeByInteraction {
+		acquireOrder = append([]*zoneState(nil), zones...)
+		sort.SliceStable(acquireOrder, func(i, j int) bool {
+			return acquireOrder[i].game.Update > acquireOrder[j].game.Update
+		})
+	}
+
+	// Bootstrap: before the first scored tick the operator observes
+	// the initial load and provisions for it, so the simulation does
+	// not begin with an empty allocation (game sessions do not start
+	// cold mid-operation).
+	if !cfg.Static {
+		for _, z := range acquireOrder {
+			z.predictor.Observe(z.group.Load.At(0))
+			predicted := sanitizePrediction(z.predictor.Predict())
+			want := demandVector(z.game, predicted*(1+cfg.SafetyMargin))
+			if want.IsZero() {
+				continue
+			}
+			leases, _ := matcher.Allocate(ecosystem.Request{
+				Tag:           z.tag(),
+				Origin:        z.region.Location,
+				MaxDistanceKm: z.game.LatencyKm,
+				Demand:        want,
+			}, start)
+			z.leases = append(z.leases, leases...)
+		}
+	}
+
+	centersByName := map[string]*datacenter.Center{}
+	for _, c := range cfg.Centers {
+		centersByName[c.Name] = c
+	}
+
+	for t := 1; t < samples; t++ {
+		now := start.Add(time.Duration(t) * tick)
+		// Scheduled data-center outages fire before anything else this
+		// tick: the capacity vanishes, the operator notices through
+		// its lapsed leases.
+		for _, f := range cfg.Failures {
+			c := centersByName[f.Center]
+			if c == nil {
+				continue
+			}
+			if t == f.AtTick {
+				c.Fail()
+			}
+			if t == f.AtTick+f.DurationTicks {
+				c.Recover()
+			}
+		}
+		if !cfg.Static {
+			matcher.Expire(now)
+		}
+
+		// Score tick t: allocation in force vs actual demand.
+		var alloc, load [datacenter.NumResources]float64
+		var shortfall [datacenter.NumResources]float64
+		for _, z := range zones {
+			var a datacenter.Vector
+			if cfg.Static {
+				a = z.staticAlloc
+			} else {
+				a = z.activeAlloc(now)
+			}
+			l := demandVector(z.game, z.group.Load.At(t))
+			for r := 0; r < int(datacenter.NumResources); r++ {
+				alloc[r] += a[r]
+				load[r] += l[r]
+				if d := a[r] - l[r]; d < 0 {
+					shortfall[r] += d
+				}
+			}
+			gameAlloc[z.game.Name] += a[datacenter.CPU]
+			if d := a[datacenter.CPU] - l[datacenter.CPU]; d < 0 {
+				gameShort[z.game.Name] += d
+			}
+		}
+		// M in Equation 2 is the number of machines participating in
+		// the game session: the machine-equivalents the allocation
+		// occupies (one machine provides one CPU unit).
+		machines := math.Ceil(alloc[datacenter.CPU])
+		if machines < 1 {
+			machines = 1
+		}
+		event := false
+		for r := 0; r < int(datacenter.NumResources); r++ {
+			if load[r] > 0 {
+				overSum[r] += (alloc[r]/load[r] - 1) * 100
+				overTicks[r]++
+			}
+			u := shortfall[r] / machines * 100
+			underSum[r] += u
+			if u < -SignificantUnderPct {
+				event = true
+			}
+		}
+		if event {
+			res.Events++
+		}
+		res.CumEvents = append(res.CumEvents, res.Events)
+		if load[datacenter.CPU] > 0 {
+			res.OverPct = append(res.OverPct, (alloc[datacenter.CPU]/load[datacenter.CPU]-1)*100)
+		} else {
+			res.OverPct = append(res.OverPct, 0)
+		}
+		res.UnderPct = append(res.UnderPct, shortfall[datacenter.CPU]/machines*100)
+		res.Ticks++
+
+		for name, short := range gameShort {
+			m := math.Ceil(gameAlloc[name])
+			if m < 1 {
+				m = 1
+			}
+			gameUnderSum[name] += short / m * 100
+		}
+		for name := range gameAlloc {
+			delete(gameAlloc, name)
+		}
+		for name := range gameShort {
+			delete(gameShort, name)
+		}
+
+		// Account center usage.
+		if cfg.TrackCenters && !cfg.Static {
+			for _, c := range cfg.Centers {
+				cs := res.CenterStats[c.Name]
+				cs.AvgAllocatedCPU += c.Allocated()[datacenter.CPU]
+				cs.AvgFreeCPU += c.Free()[datacenter.CPU]
+			}
+			for _, z := range zones {
+				for _, l := range z.leases {
+					if l.Active(now) {
+						res.CenterStats[l.Center.Name].AllocatedByRegion[z.region.Name] += l.Alloc[datacenter.CPU]
+					}
+				}
+			}
+		}
+
+		if cfg.Static || t == samples-1 {
+			continue
+		}
+
+		// Observe tick t, predict tick t+1, lease the gap.
+		anyUnmet := false
+		for _, z := range acquireOrder {
+			z.predictor.Observe(z.group.Load.At(t))
+			predicted := sanitizePrediction(z.predictor.Predict())
+			want := demandVector(z.game, predicted*(1+cfg.SafetyMargin))
+			have := z.allocAt(now.Add(tick))
+			need := want.Sub(have).ClampNonNegative()
+			if need.IsZero() {
+				continue
+			}
+			leases, unmet := matcher.Allocate(ecosystem.Request{
+				Tag:           z.tag(),
+				Origin:        z.region.Location,
+				MaxDistanceKm: z.game.LatencyKm,
+				Demand:        need,
+			}, now)
+			z.leases = append(z.leases, leases...)
+			if !unmet.IsZero() {
+				anyUnmet = true
+			}
+		}
+		if anyUnmet {
+			res.Unmet++
+		}
+	}
+
+	res.AvgUnderByGame = map[string]float64{}
+	for _, w := range cfg.Workloads {
+		res.AvgUnderByGame[w.Game.Name] = gameUnderSum[w.Game.Name] / float64(res.Ticks)
+	}
+
+	for r := 0; r < int(datacenter.NumResources); r++ {
+		if overTicks[r] > 0 {
+			res.AvgOverPct[r] = overSum[r] / float64(overTicks[r])
+		} else {
+			res.AvgOverPct[r] = math.NaN()
+		}
+		res.AvgUnderPct[r] = underSum[r] / float64(res.Ticks)
+	}
+	if cfg.TrackCenters {
+		for _, cs := range res.CenterStats {
+			cs.AvgAllocatedCPU /= float64(res.Ticks)
+			cs.AvgFreeCPU /= float64(res.Ticks)
+			for k := range cs.AllocatedByRegion {
+				cs.AllocatedByRegion[k] /= float64(res.Ticks)
+			}
+		}
+	}
+	return res, nil
+}
+
+// DistanceClassShares buckets each center's served CPU by the distance
+// between the requesting region and the center, in the five latency
+// classes of Section V-E — the data behind Fig. 13.
+func DistanceClassShares(res *Result, centers []*datacenter.Center, regions []trace.Region) map[geo.LatencyClass]map[string]float64 {
+	regionLoc := map[string]geo.Point{}
+	for _, r := range regions {
+		regionLoc[r.Name] = r.Location
+	}
+	out := map[geo.LatencyClass]map[string]float64{}
+	for _, c := range centers {
+		cs := res.CenterStats[c.Name]
+		if cs == nil {
+			continue
+		}
+		for regionName, cpu := range cs.AllocatedByRegion {
+			loc, ok := regionLoc[regionName]
+			if !ok {
+				continue
+			}
+			class := geo.ClassOf(geo.DistanceKm(loc, c.Location))
+			if out[class] == nil {
+				out[class] = map[string]float64{}
+			}
+			out[class][c.Name] += cpu
+		}
+	}
+	return out
+}

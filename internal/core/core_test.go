@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/geo"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/predict"
+	"mmogdc/internal/series"
+	"mmogdc/internal/trace"
+)
+
+// syntheticDataset builds a tiny deterministic dataset: groups with a
+// smooth sinusoidal load.
+func syntheticDataset(groups, samples int, peak float64) *trace.Dataset {
+	start := time.Date(2007, 8, 18, 0, 0, 0, 0, time.UTC)
+	ds := &trace.Dataset{
+		Regions: []trace.Region{{ID: 0, Name: "Europe", Location: geo.London}},
+	}
+	for g := 0; g < groups; g++ {
+		grp := &trace.Group{RegionID: 0, Index: g,
+			Load: series.New(series.DefaultTick, start)}
+		for t := 0; t < samples; t++ {
+			v := peak * (0.55 + 0.45*math.Sin(2*math.Pi*float64(t)/float64(samples)))
+			grp.Load.Append(v)
+		}
+		ds.Groups = append(ds.Groups, grp)
+	}
+	return ds
+}
+
+func fineCenters(machines int) []*datacenter.Center {
+	var b datacenter.Vector
+	b[datacenter.CPU] = 0.25
+	p := datacenter.HostingPolicy{Name: "fine", Bulk: b, TimeBulk: time.Hour}
+	return []*datacenter.Center{datacenter.NewCenter("dc", geo.London, machines, p)}
+}
+
+func testGame() *mmog.Game {
+	g := mmog.NewGame("test", mmog.GenreMMORPG)
+	return g
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("no workloads should error")
+	}
+	ds := syntheticDataset(2, 10, 1000)
+	if _, err := Run(Config{Workloads: []Workload{{Game: testGame()}}}); err == nil {
+		t.Error("missing dataset should error")
+	}
+	if _, err := Run(Config{Workloads: []Workload{{Game: testGame(), Dataset: ds}}}); err == nil {
+		t.Error("dynamic mode without predictor should error")
+	}
+	short := syntheticDataset(1, 1, 100)
+	if _, err := Run(Config{Static: true,
+		Workloads: []Workload{{Game: testGame(), Dataset: short}}}); err == nil {
+		t.Error("too-short dataset should error")
+	}
+	mixed := []Workload{
+		{Game: testGame(), Dataset: syntheticDataset(1, 10, 100), Predictor: predict.NewLastValue()},
+		{Game: testGame(), Dataset: syntheticDataset(1, 20, 100), Predictor: predict.NewLastValue()},
+	}
+	if _, err := Run(Config{Workloads: mixed, Centers: fineCenters(10)}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestStaticNeverUnderAllocates(t *testing.T) {
+	ds := syntheticDataset(3, 200, 1800)
+	res, err := Run(Config{
+		Static:    true,
+		Workloads: []Workload{{Game: testGame(), Dataset: ds}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 0 {
+		t.Fatalf("static allocation had %d events", res.Events)
+	}
+	for r, u := range res.AvgUnderPct {
+		if u != 0 {
+			t.Fatalf("static under-allocation of %v = %v", datacenter.Resource(r), u)
+		}
+	}
+	// Over-allocation must be positive: peak sizing wastes off-peak.
+	if res.AvgOverPct[datacenter.CPU] <= 0 {
+		t.Fatalf("static CPU over-allocation = %v", res.AvgOverPct[datacenter.CPU])
+	}
+}
+
+func TestDynamicBeatsStaticOnOverAllocation(t *testing.T) {
+	mk := func(static bool) *Result {
+		ds := syntheticDataset(3, 300, 1800)
+		cfg := Config{
+			Static:  static,
+			Centers: fineCenters(20),
+			Workloads: []Workload{{
+				Game: testGame(), Dataset: ds, Predictor: predict.NewLastValue(),
+			}},
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	static := mk(true)
+	dynamic := mk(false)
+	if dynamic.AvgOverPct[datacenter.CPU] >= static.AvgOverPct[datacenter.CPU] {
+		t.Fatalf("dynamic %v should beat static %v",
+			dynamic.AvgOverPct[datacenter.CPU], static.AvgOverPct[datacenter.CPU])
+	}
+}
+
+func TestDynamicAllocationCoversSmoothLoad(t *testing.T) {
+	ds := syntheticDataset(2, 720, 1000)
+	res, err := Run(Config{
+		Centers: fineCenters(20),
+		Workloads: []Workload{{
+			Game: testGame(), Dataset: ds, Predictor: predict.NewLastValue(),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A smooth sinusoid predicted by last-value, with bulk-rounding
+	// slack, should rarely under-allocate.
+	if res.Events > res.Ticks/10 {
+		t.Fatalf("%d/%d events on a smooth load", res.Events, res.Ticks)
+	}
+	if res.Unmet != 0 {
+		t.Fatalf("capacity should suffice, %d unmet ticks", res.Unmet)
+	}
+}
+
+func TestLatencyBoundCausesUnmet(t *testing.T) {
+	ds := syntheticDataset(2, 50, 1500)
+	game := testGame()
+	game.LatencyKm = 100 // the only center is in Sydney
+	var b datacenter.Vector
+	b[datacenter.CPU] = 0.25
+	p := datacenter.HostingPolicy{Name: "x", Bulk: b, TimeBulk: time.Hour}
+	centers := []*datacenter.Center{datacenter.NewCenter("sydney", geo.Sydney, 50, p)}
+	res, err := Run(Config{
+		Centers:   centers,
+		Workloads: []Workload{{Game: game, Dataset: ds, Predictor: predict.NewLastValue()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unmet == 0 {
+		t.Fatal("no admissible center should leave demand unmet")
+	}
+	if res.Events == 0 {
+		t.Fatal("unmet demand should surface as under-allocation events")
+	}
+}
+
+func TestCumEventsMonotone(t *testing.T) {
+	ds := trace.Generate(trace.Config{Seed: 5, Days: 1,
+		Regions: []trace.Region{{ID: 0, Name: "Europe", Location: geo.London, Groups: 5}}})
+	res, err := Run(Config{
+		Centers: fineCenters(10),
+		Workloads: []Workload{{
+			Game: testGame(), Dataset: ds, Predictor: predict.NewMovingAverage(6),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CumEvents) != res.Ticks {
+		t.Fatalf("CumEvents length %d != ticks %d", len(res.CumEvents), res.Ticks)
+	}
+	for i := 1; i < len(res.CumEvents); i++ {
+		if res.CumEvents[i] < res.CumEvents[i-1] {
+			t.Fatal("cumulative events decreased")
+		}
+	}
+	if res.CumEvents[len(res.CumEvents)-1] != res.Events {
+		t.Fatal("final cumulative != total events")
+	}
+}
+
+func TestUpdateModelComplexityIncreasesOverAllocation(t *testing.T) {
+	// Table VI shape: higher interaction complexity -> more relative
+	// over-allocation under bulk rounding (demands shrink, bulks do
+	// not).
+	run := func(m mmog.UpdateModel) float64 {
+		ds := syntheticDataset(4, 200, 1400)
+		g := mmog.NewGame("g", mmog.GenreMMORPG)
+		g.Update = m
+		res, err := Run(Config{
+			Centers:   fineCenters(30),
+			Workloads: []Workload{{Game: g, Dataset: ds, Predictor: predict.NewLastValue()}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgOverPct[datacenter.CPU]
+	}
+	linear := run(mmog.UpdateLinear)
+	cubic := run(mmog.UpdateCubic)
+	if cubic <= linear {
+		t.Fatalf("O(n^3) over-allocation %v should exceed O(n) %v", cubic, linear)
+	}
+}
+
+func TestCenterStatsTracking(t *testing.T) {
+	ds := syntheticDataset(2, 100, 1500)
+	centers := fineCenters(20)
+	res, err := Run(Config{
+		Centers:      centers,
+		TrackCenters: true,
+		Workloads: []Workload{{
+			Game: testGame(), Dataset: ds, Predictor: predict.NewLastValue(),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.CenterStats["dc"]
+	if cs == nil {
+		t.Fatal("missing center stats")
+	}
+	if cs.AvgAllocatedCPU <= 0 {
+		t.Fatalf("avg allocated CPU = %v", cs.AvgAllocatedCPU)
+	}
+	if cs.AvgAllocatedCPU+cs.AvgFreeCPU > 20*datacenter.PerMachineCapacity[datacenter.CPU]+1e-6 {
+		t.Fatal("allocated+free exceeds capacity")
+	}
+	if cs.AllocatedByRegion["Europe"] <= 0 {
+		t.Fatal("region attribution missing")
+	}
+}
+
+func TestDistanceClassShares(t *testing.T) {
+	ds := syntheticDataset(2, 100, 1500)
+	centers := fineCenters(20)
+	res, err := Run(Config{
+		Centers:      centers,
+		TrackCenters: true,
+		Workloads: []Workload{{
+			Game: testGame(), Dataset: ds, Predictor: predict.NewLastValue(),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := DistanceClassShares(res, centers, ds.Regions)
+	// The only center is in London, the only region is London-based:
+	// everything lands in SameLocation.
+	if shares[geo.SameLocation]["dc"] <= 0 {
+		t.Fatalf("shares = %v", shares)
+	}
+	if len(shares) != 1 {
+		t.Fatalf("unexpected distance classes: %v", shares)
+	}
+}
+
+func TestMultipleWorkloadsShareCapacity(t *testing.T) {
+	dsA := syntheticDataset(2, 100, 1500)
+	dsB := syntheticDataset(2, 100, 1500)
+	gA := mmog.NewGame("A", mmog.GenreRPG)
+	gB := mmog.NewGame("B", mmog.GenreMMORPG)
+	res, err := Run(Config{
+		Centers: fineCenters(30),
+		Workloads: []Workload{
+			{Game: gA, Dataset: dsA, Predictor: predict.NewLastValue()},
+			{Game: gB, Dataset: dsB, Predictor: predict.NewLastValue()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks != 99 {
+		t.Fatalf("ticks = %d", res.Ticks)
+	}
+}
+
+func TestSafetyMarginReducesEvents(t *testing.T) {
+	mk := func(margin float64) int {
+		ds := trace.Generate(trace.Config{Seed: 11, Days: 1,
+			Regions: []trace.Region{{ID: 0, Name: "Europe", Location: geo.London, Groups: 8}}})
+		res, err := Run(Config{
+			Centers:      fineCenters(20),
+			SafetyMargin: margin,
+			Workloads: []Workload{{
+				Game: testGame(), Dataset: ds, Predictor: predict.NewLastValue(),
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Events
+	}
+	if with, without := mk(0.3), mk(0); with > without {
+		t.Fatalf("margin events %d should not exceed no-margin %d", with, without)
+	}
+}

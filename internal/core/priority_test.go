@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/geo"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/predict"
+	"mmogdc/internal/trace"
+)
+
+// contendedSetup builds two games (light and heavy) sharing a center
+// too small for both.
+func contendedSetup(t *testing.T, prioritize bool) *Result {
+	t.Helper()
+	light := mmog.NewGame("light", mmog.GenreRPG) // O(n log n)
+	heavy := mmog.NewGame("heavy", mmog.GenreFPS) // O(n^3)
+	dsL := syntheticDataset(3, 120, 1900)         // near-capacity loads
+	dsH := syntheticDataset(3, 120, 1900)
+	var b datacenter.Vector
+	b[datacenter.CPU] = 0.25
+	p := datacenter.HostingPolicy{Name: "tight", Bulk: b, TimeBulk: time.Hour}
+	centers := []*datacenter.Center{datacenter.NewCenter("dc", geo.London, 4, p)}
+	res, err := Run(Config{
+		Centers:                 centers,
+		PrioritizeByInteraction: prioritize,
+		Workloads: []Workload{
+			{Game: light, Dataset: dsL, Predictor: predict.NewLastValue()},
+			{Game: heavy, Dataset: dsH, Predictor: predict.NewLastValue()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPrioritizationFavorsHeavyGame(t *testing.T) {
+	fifo := contendedSetup(t, false)
+	prio := contendedSetup(t, true)
+	if fifo.Unmet == 0 {
+		t.Skip("setup not contended; prioritization unobservable")
+	}
+	// Under prioritization the heavy game's shortfall must not grow,
+	// and should improve relative to FIFO.
+	if prio.AvgUnderByGame["heavy"] < fifo.AvgUnderByGame["heavy"]-1e-9 {
+		t.Fatalf("prioritized heavy under %v worse than fifo %v",
+			prio.AvgUnderByGame["heavy"], fifo.AvgUnderByGame["heavy"])
+	}
+}
+
+func TestAvgUnderByGamePopulated(t *testing.T) {
+	res := contendedSetup(t, false)
+	if len(res.AvgUnderByGame) != 2 {
+		t.Fatalf("AvgUnderByGame has %d entries", len(res.AvgUnderByGame))
+	}
+	for name, v := range res.AvgUnderByGame {
+		if v > 0 {
+			t.Errorf("game %s has positive under-allocation %v", name, v)
+		}
+	}
+}
+
+func TestAvgUnderByGameZeroWhenUncontended(t *testing.T) {
+	ds := syntheticDataset(2, 120, 800)
+	game := mmog.NewGame("solo", mmog.GenreMMORPG)
+	res, err := Run(Config{
+		Centers:   fineCenters(50),
+		Workloads: []Workload{{Game: game, Dataset: ds, Predictor: predict.NewLastValue()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgUnderByGame["solo"] < -0.5 {
+		t.Fatalf("uncontended game under-allocation = %v", res.AvgUnderByGame["solo"])
+	}
+}
+
+func TestStaticHasGameBreakdownToo(t *testing.T) {
+	ds := trace.Generate(trace.Config{Seed: 3, Days: 1,
+		Regions: []trace.Region{{ID: 0, Name: "Europe", Location: geo.London, Groups: 3}}})
+	res, err := Run(Config{
+		Static:    true,
+		Workloads: []Workload{{Game: mmog.NewGame("st", mmog.GenreMMORPG), Dataset: ds}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.AvgUnderByGame["st"]; got != 0 {
+		t.Fatalf("static game under-allocation = %v, want 0", got)
+	}
+}

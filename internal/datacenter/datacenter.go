@@ -1,0 +1,348 @@
+// Package datacenter implements the paper's data-center model
+// (Section II-B): hosters pooling machines whose resources — CPU,
+// memory, and external network input/output — are rented to game
+// operators in *bulks*. A hosting policy fixes, per resource type, the
+// minimum number of resource units that can be allocated in one
+// request (the resource bulk) and the minimum duration of an
+// allocation (the time bulk). Allocated resources are reserved for the
+// whole lease duration: no preemption, no early release.
+//
+// Resources are measured in the paper's abstract units: 1.0 unit of a
+// resource is what a fully loaded game server consumes (for external
+// outward bandwidth, 3 MB/s).
+package datacenter
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mmogdc/internal/geo"
+)
+
+// Resource enumerates the four resource types of Section II-B.
+type Resource int
+
+const (
+	// CPU time from data center machines.
+	CPU Resource = iota
+	// Memory from data center machines.
+	Memory
+	// ExtNetIn is input from the external network of a data center.
+	ExtNetIn
+	// ExtNetOut is output to the external network of a data center.
+	ExtNetOut
+	// NumResources is the number of resource types.
+	NumResources
+)
+
+// String implements fmt.Stringer with the paper's labels.
+func (r Resource) String() string {
+	switch r {
+	case CPU:
+		return "CPU"
+	case Memory:
+		return "Memory"
+	case ExtNetIn:
+		return "ExtNet[in]"
+	case ExtNetOut:
+		return "ExtNet[out]"
+	default:
+		return fmt.Sprintf("Resource(%d)", int(r))
+	}
+}
+
+// AllResources lists the resource types in declaration order.
+var AllResources = []Resource{CPU, Memory, ExtNetIn, ExtNetOut}
+
+// Vector is a quantity of each resource type, in abstract units.
+type Vector [NumResources]float64
+
+// Add returns v + o.
+func (v Vector) Add(o Vector) Vector {
+	for i := range v {
+		v[i] += o[i]
+	}
+	return v
+}
+
+// Sub returns v - o.
+func (v Vector) Sub(o Vector) Vector {
+	for i := range v {
+		v[i] -= o[i]
+	}
+	return v
+}
+
+// Scale returns v scaled by f.
+func (v Vector) Scale(f float64) Vector {
+	for i := range v {
+		v[i] *= f
+	}
+	return v
+}
+
+// Max returns the element-wise maximum.
+func (v Vector) Max(o Vector) Vector {
+	for i := range v {
+		if o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+	return v
+}
+
+// ClampNonNegative zeroes negative components.
+func (v Vector) ClampNonNegative() Vector {
+	for i := range v {
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+	return v
+}
+
+// IsZero reports whether every component is zero.
+func (v Vector) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FitsWithin reports whether v <= o element-wise (with tolerance).
+func (v Vector) FitsWithin(o Vector) bool {
+	const eps = 1e-9
+	for i := range v {
+		if v[i] > o[i]+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// HostingPolicy is a data center's space-time renting policy
+// (Section II-B): one resource bulk per resource type plus the time
+// bulk. A zero bulk means the policy does not constrain that resource
+// (the paper's "n/a"): it is allocated exactly as requested alongside
+// the constrained resources.
+type HostingPolicy struct {
+	// Name labels the policy ("HP-1" ... "HP-11").
+	Name string
+	// Bulk is the minimal allocation quantum per resource; 0 = n/a.
+	Bulk Vector
+	// TimeBulk is the minimal duration of an allocation.
+	TimeBulk time.Duration
+}
+
+// RoundUp rounds a request up to whole bulks. Unconstrained resources
+// (bulk 0) pass through unchanged; constrained resources are raised to
+// the smallest positive multiple of the bulk covering the request (a
+// non-zero request always costs at least one bulk).
+func (p HostingPolicy) RoundUp(req Vector) Vector {
+	var out Vector
+	for i, want := range req {
+		if want < 0 {
+			want = 0
+		}
+		b := p.Bulk[i]
+		if b <= 0 || want == 0 {
+			out[i] = want
+			continue
+		}
+		out[i] = math.Ceil(want/b-1e-9) * b
+	}
+	return out
+}
+
+// Grain is the sorting key for the paper's matching preference for
+// "finer grained resources": the CPU bulk, the resource every MMOG
+// request is ultimately sized by. Policies that do not constrain CPU
+// sort as coarsest.
+func (p HostingPolicy) Grain() float64 {
+	if p.Bulk[CPU] <= 0 {
+		return math.Inf(1)
+	}
+	return p.Bulk[CPU]
+}
+
+// Lease is one bulk allocation held by a game operator.
+type Lease struct {
+	// Center owns the leased resources.
+	Center *Center
+	// Alloc is the allocated (bulk-rounded) resource vector.
+	Alloc Vector
+	// Start and Expires delimit the reservation.
+	Start   time.Time
+	Expires time.Time
+	// Tag carries the requester's identifier (e.g. zone name).
+	Tag      string
+	released bool
+}
+
+// Active reports whether the lease holds resources at time t.
+func (l *Lease) Active(t time.Time) bool {
+	return !l.released && !t.Before(l.Start) && t.Before(l.Expires)
+}
+
+// PerMachineCapacity is the resource capacity one data-center machine
+// contributes. A machine runs one fully loaded game server (1 CPU
+// unit); hosting centers provision memory and network generously
+// relative to CPU, which is why the network-heavy policies of Table IV
+// can bundle several ExtNet[in] units per CPU bulk without exhausting
+// the pipe — CPU is the binding resource, as in the paper (the
+// East-coast centers are the only ones left with free resources in
+// Fig. 14).
+var PerMachineCapacity = Vector{1, 4, 12, 4}
+
+// Center is one data center (the paper assumes one cluster per hoster,
+// so center == cluster == hoster).
+type Center struct {
+	// Name identifies the center in reports ("US East (1)").
+	Name string
+	// Location anchors latency-class matching.
+	Location geo.Point
+	// Machines is the cluster size.
+	Machines int
+	// Policy is the hosting policy set by the center's owner.
+	Policy HostingPolicy
+
+	capacity  Vector
+	allocated Vector
+	leases    []*Lease
+	reserved  []*Lease
+	prices    PriceTable
+	totalCost float64
+	// watermark is the latest time the center has observed (via Lease
+	// or Expire); reservations must start at or after it.
+	watermark time.Time
+	offline   bool
+}
+
+// NewCenter builds a center with capacity Machines x PerMachineCapacity.
+func NewCenter(name string, loc geo.Point, machines int, policy HostingPolicy) *Center {
+	return &Center{
+		Name:     name,
+		Location: loc,
+		Machines: machines,
+		Policy:   policy,
+		capacity: PerMachineCapacity.Scale(float64(machines)),
+	}
+}
+
+// Capacity returns the total resource capacity.
+func (c *Center) Capacity() Vector { return c.capacity }
+
+// Allocated returns the currently reserved resources.
+func (c *Center) Allocated() Vector { return c.allocated }
+
+// Free returns the currently available resources.
+func (c *Center) Free() Vector {
+	return c.capacity.Sub(c.allocated).ClampNonNegative()
+}
+
+// Expire releases every lease that has ended by time t, activates
+// reservations whose windows have begun, and returns the number of
+// leases released.
+func (c *Center) Expire(t time.Time) int {
+	if t.After(c.watermark) {
+		c.watermark = t
+	}
+	c.activateReservations(t)
+	n := 0
+	live := c.leases[:0]
+	for _, l := range c.leases {
+		if !l.released && !t.Before(l.Expires) {
+			l.released = true
+			c.allocated = c.allocated.Sub(l.Alloc).ClampNonNegative()
+			n++
+			continue
+		}
+		live = append(live, l)
+	}
+	c.leases = live
+	if len(c.leases) == 0 {
+		// Snap float residue: with no live leases the allocation is
+		// zero by definition, not 1e-16.
+		c.allocated = Vector{}
+	}
+	return n
+}
+
+// ErrInsufficient is returned when a center cannot host a request.
+var ErrInsufficient = fmt.Errorf("datacenter: insufficient free capacity")
+
+// ErrOffline is returned while a center is failed.
+var ErrOffline = fmt.Errorf("datacenter: center offline")
+
+// Fail takes the center offline: every live lease and pending
+// reservation is lost immediately (the machines are gone, not merely
+// full), and new requests are rejected until Recover. It returns the
+// number of leases and reservations dropped.
+func (c *Center) Fail() int {
+	n := len(c.leases) + len(c.reserved)
+	for _, l := range c.leases {
+		l.released = true
+	}
+	for _, l := range c.reserved {
+		l.released = true
+	}
+	c.leases = c.leases[:0]
+	c.reserved = c.reserved[:0]
+	c.allocated = Vector{}
+	c.offline = true
+	return n
+}
+
+// Recover brings a failed center back online with empty machines.
+func (c *Center) Recover() { c.offline = false }
+
+// Offline reports whether the center is failed.
+func (c *Center) Offline() bool { return c.offline }
+
+// Lease reserves the request (rounded up to the policy's bulks) from
+// time now for at least the policy's time bulk. It fails with
+// ErrInsufficient when the rounded request does not fit the free
+// capacity — leases are all-or-nothing; callers wanting partial
+// fulfillment split the request before calling.
+func (c *Center) Lease(req Vector, now time.Time, tag string) (*Lease, error) {
+	if now.After(c.watermark) {
+		c.watermark = now
+	}
+	if c.offline {
+		return nil, ErrOffline
+	}
+	rounded := c.Policy.RoundUp(req)
+	if rounded.IsZero() {
+		return nil, fmt.Errorf("datacenter: empty request")
+	}
+	if len(c.reserved) == 0 {
+		// Fast path: no future bookings, the live view decides.
+		if !rounded.FitsWithin(c.Free()) {
+			return nil, ErrInsufficient
+		}
+	} else {
+		// Reservations may begin inside this lease's window; admit
+		// only if the window's peak stays within capacity.
+		peak := c.maxUsageDuring(now, now.Add(c.Policy.TimeBulk))
+		if !rounded.Add(peak).FitsWithin(c.capacity) {
+			return nil, ErrInsufficient
+		}
+	}
+	l := &Lease{
+		Center:  c,
+		Alloc:   rounded,
+		Start:   now,
+		Expires: now.Add(c.Policy.TimeBulk),
+		Tag:     tag,
+	}
+	c.allocated = c.allocated.Add(rounded)
+	c.leases = append(c.leases, l)
+	c.totalCost += c.Prices().LeaseCost(l)
+	return l, nil
+}
+
+// ActiveLeases returns the number of currently held leases.
+func (c *Center) ActiveLeases() int { return len(c.leases) }

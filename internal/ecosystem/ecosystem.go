@@ -1,0 +1,173 @@
+// Package ecosystem implements the paper's request–offer matching
+// between game operators and hosters (Section II-C). Game operators
+// submit resource requests derived from predicted game load; data
+// centers answer with offers shaped by their hosting policies. The
+// matching mechanism favors the game operator on three criteria:
+//
+//  1. the offer must cover at least the requested amounts (requests
+//     are rounded up to whole bulks);
+//  2. only centers within the game's latency tolerance — expressed as
+//     a maximal player-to-server distance — are considered;
+//  3. among admissible centers, the finest-grained resources with the
+//     shortest reservation time are selected first, which is how game
+//     operators "penalize the data centers with unsuitable hosting
+//     policies by not using their resources".
+package ecosystem
+
+import (
+	"sort"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/geo"
+)
+
+// Request asks for resources to serve players at a location.
+type Request struct {
+	// Tag identifies the requesting workload (e.g. server group).
+	Tag string
+	// Origin is where the demand's players are.
+	Origin geo.Point
+	// MaxDistanceKm is the game's latency tolerance as a maximal
+	// player-to-server distance; +Inf admits every center.
+	MaxDistanceKm float64
+	// Demand is the resources needed, in abstract units.
+	Demand datacenter.Vector
+}
+
+// Matcher allocates requests across a set of data centers.
+type Matcher struct {
+	centers []*datacenter.Center
+}
+
+// NewMatcher returns a matcher over the centers.
+func NewMatcher(centers []*datacenter.Center) *Matcher {
+	return &Matcher{centers: centers}
+}
+
+// Centers returns the matcher's centers.
+func (m *Matcher) Centers() []*datacenter.Center { return m.centers }
+
+// Expire releases expired leases in all centers and returns the total
+// released.
+func (m *Matcher) Expire(now time.Time) int {
+	n := 0
+	for _, c := range m.centers {
+		n += c.Expire(now)
+	}
+	return n
+}
+
+// candidate pairs a center with its distance from the request.
+type candidate struct {
+	center *datacenter.Center
+	distKm float64
+}
+
+// Allocate leases resources for the request, splitting it across
+// centers when the preferred center cannot host all of it. It returns
+// the leases obtained and the unmet demand (zero when fully served).
+//
+// The split follows the matching preference order; each center serves
+// as much of the remaining demand as its free capacity allows (in
+// whole bulks), and the remainder spills to the next candidate.
+func (m *Matcher) Allocate(req Request, now time.Time) ([]*datacenter.Lease, datacenter.Vector) {
+	remaining := req.Demand.ClampNonNegative()
+	if remaining.IsZero() {
+		return nil, datacenter.Vector{}
+	}
+
+	cands := make([]candidate, 0, len(m.centers))
+	for _, c := range m.centers {
+		d := geo.DistanceKm(req.Origin, c.Location)
+		if d <= req.MaxDistanceKm {
+			cands = append(cands, candidate{center: c, distKm: d})
+		}
+	}
+	// Preference: finer resource grain, then shorter time bulk, then
+	// closer center, then name for determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		gi, gj := cands[i].center.Policy.Grain(), cands[j].center.Policy.Grain()
+		if gi != gj {
+			return gi < gj
+		}
+		ti, tj := cands[i].center.Policy.TimeBulk, cands[j].center.Policy.TimeBulk
+		if ti != tj {
+			return ti < tj
+		}
+		if cands[i].distKm != cands[j].distKm {
+			return cands[i].distKm < cands[j].distKm
+		}
+		return cands[i].center.Name < cands[j].center.Name
+	})
+
+	var leases []*datacenter.Lease
+	for _, cand := range cands {
+		if remaining.IsZero() {
+			break
+		}
+		c := cand.center
+		grant := fitToFree(c, remaining)
+		if grant.IsZero() {
+			continue
+		}
+		l, err := c.Lease(grant, now, req.Tag)
+		if err != nil {
+			continue
+		}
+		leases = append(leases, l)
+		remaining = remaining.Sub(l.Alloc).ClampNonNegative()
+	}
+	return leases, remaining
+}
+
+// fitToFree trims a demand so its bulk-rounded form fits the center's
+// free capacity: per resource, the request is lowered to the largest
+// whole-bulk amount not exceeding the free capacity. Unconstrained
+// resources are capped at the free amount directly. The CPU component
+// leads: if no CPU can be granted at a center but CPU was demanded,
+// nothing is taken from it (a game server without CPU is useless).
+func fitToFree(c *datacenter.Center, demand datacenter.Vector) datacenter.Vector {
+	free := c.Free()
+	var out datacenter.Vector
+	for i, want := range demand {
+		if want <= 0 {
+			continue
+		}
+		b := c.Policy.Bulk[i]
+		avail := free[i]
+		if b <= 0 {
+			if want <= avail {
+				out[i] = want
+			} else {
+				out[i] = avail
+			}
+			continue
+		}
+		// Bulks needed vs bulks available.
+		needBulks := int((want + b - 1e-9) / b)
+		if float64(needBulks)*b < want {
+			needBulks++
+		}
+		availBulks := int(avail / b)
+		n := needBulks
+		if n > availBulks {
+			n = availBulks
+		}
+		out[i] = float64(n) * b
+	}
+	if demand[datacenter.CPU] > 0 && out[datacenter.CPU] <= 0 {
+		return datacenter.Vector{}
+	}
+	return out
+}
+
+// FreeByCenter reports each center's free resources, in center order —
+// the Fig. 14 view of which hosters are left with unused capacity.
+func (m *Matcher) FreeByCenter() map[string]datacenter.Vector {
+	out := make(map[string]datacenter.Vector, len(m.centers))
+	for _, c := range m.centers {
+		out[c.Name] = c.Free()
+	}
+	return out
+}

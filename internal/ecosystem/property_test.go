@@ -1,0 +1,94 @@
+package ecosystem
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/geo"
+	"mmogdc/internal/xrand"
+)
+
+// TestMatcherInvariantsUnderRandomLoad drives the matcher with random
+// request streams against random center configurations and checks the
+// structural invariants after every operation:
+//
+//   - no center is ever allocated beyond its capacity;
+//   - granted leases plus unmet demand cover at least the request
+//     (never less than asked minus what was declared unmet);
+//   - every lease respects the requester's latency bound;
+//   - expiry is complete (allocations return to zero when everything
+//     has lapsed).
+func TestMatcherInvariantsUnderRandomLoad(t *testing.T) {
+	rng := xrand.New(0xfeed)
+	locations := []geo.Point{geo.London, geo.NewYork, geo.SanJose, geo.Sydney, geo.Chicago}
+
+	for round := 0; round < 30; round++ {
+		// Random ecosystem.
+		nCenters := 1 + rng.Intn(5)
+		centers := make([]*datacenter.Center, nCenters)
+		for i := range centers {
+			var bulk datacenter.Vector
+			bulk[datacenter.CPU] = 0.1 + 0.5*rng.Float64()
+			bulk[datacenter.Memory] = float64(rng.Intn(3))
+			policy := datacenter.HostingPolicy{
+				Name:     "rand",
+				Bulk:     bulk,
+				TimeBulk: time.Duration(30+rng.Intn(180)) * time.Minute,
+			}
+			centers[i] = datacenter.NewCenter(
+				string(rune('A'+i)), locations[rng.Intn(len(locations))], 1+rng.Intn(6), policy)
+		}
+		m := NewMatcher(centers)
+		now := time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC)
+
+		for step := 0; step < 60; step++ {
+			origin := locations[rng.Intn(len(locations))]
+			maxKm := math.Inf(1)
+			if rng.Bool(0.4) {
+				maxKm = 500 + 8000*rng.Float64()
+			}
+			var demand datacenter.Vector
+			demand[datacenter.CPU] = 3 * rng.Float64()
+			if rng.Bool(0.5) {
+				demand[datacenter.Memory] = 4 * rng.Float64()
+			}
+
+			leases, unmet := m.Allocate(Request{
+				Tag: "prop", Origin: origin, MaxDistanceKm: maxKm, Demand: demand,
+			}, now)
+
+			var granted datacenter.Vector
+			for _, l := range leases {
+				granted = granted.Add(l.Alloc)
+				if d := geo.DistanceKm(origin, l.Center.Location); d > maxKm {
+					t.Fatalf("round %d: lease at %.0f km violates %.0f km bound", round, d, maxKm)
+				}
+			}
+			// granted + unmet >= demand (rounding may exceed demand).
+			covered := granted.Add(unmet)
+			for r := 0; r < int(datacenter.NumResources); r++ {
+				if covered[r]+1e-9 < demand[r] {
+					t.Fatalf("round %d: resource %v demand %v not covered by %v granted + %v unmet",
+						round, datacenter.Resource(r), demand[r], granted[r], unmet[r])
+				}
+			}
+			for _, c := range centers {
+				if !c.Allocated().FitsWithin(c.Capacity()) {
+					t.Fatalf("round %d: center %s over-allocated", round, c.Name)
+				}
+			}
+			now = now.Add(time.Duration(1+rng.Intn(30)) * time.Minute)
+			m.Expire(now)
+		}
+
+		// Everything lapses eventually.
+		m.Expire(now.Add(100 * time.Hour))
+		for _, c := range centers {
+			if !c.Allocated().IsZero() {
+				t.Fatalf("round %d: center %s retains allocation after global expiry", round, c.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package ecosystem
+
+import (
+	"time"
+
+	"mmogdc/internal/datacenter"
+)
+
+// Queue is the best-effort service model of Section II-B: resource
+// requests that cannot be fitted immediately wait in a FIFO line and
+// are served as earlier leases expire. (The alternative — advance
+// reservations — lives in the datacenter package.)
+type Queue struct {
+	m       *Matcher
+	pending []Request
+}
+
+// NewQueue wraps a matcher with a best-effort waiting line.
+func NewQueue(m *Matcher) *Queue {
+	return &Queue{m: m}
+}
+
+// Len returns the number of waiting requests.
+func (q *Queue) Len() int { return len(q.pending) }
+
+// Submit tries to serve the request immediately; any unmet remainder
+// joins the queue. It returns the leases granted now and whether a
+// remainder was queued.
+func (q *Queue) Submit(req Request, now time.Time) ([]*datacenter.Lease, bool) {
+	leases, unmet := q.m.Allocate(req, now)
+	if unmet.IsZero() {
+		return leases, false
+	}
+	rest := req
+	rest.Demand = unmet
+	q.pending = append(q.pending, rest)
+	return leases, true
+}
+
+// Drain expires lapsed leases and serves the waiting line in FIFO
+// order with the freed capacity. Requests that still cannot be fully
+// served keep their place (with the served part removed). It returns
+// the newly granted leases keyed by request tag.
+func (q *Queue) Drain(now time.Time) map[string][]*datacenter.Lease {
+	q.m.Expire(now)
+	if len(q.pending) == 0 {
+		return nil
+	}
+	granted := map[string][]*datacenter.Lease{}
+	remaining := q.pending[:0]
+	for _, req := range q.pending {
+		leases, unmet := q.m.Allocate(req, now)
+		if len(leases) > 0 {
+			granted[req.Tag] = append(granted[req.Tag], leases...)
+		}
+		if !unmet.IsZero() {
+			rest := req
+			rest.Demand = unmet
+			remaining = append(remaining, rest)
+		}
+	}
+	q.pending = remaining
+	if len(granted) == 0 {
+		return nil
+	}
+	return granted
+}

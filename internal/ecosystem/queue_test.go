@@ -1,0 +1,89 @@
+package ecosystem
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/geo"
+)
+
+func TestQueueImmediateServiceBypassesLine(t *testing.T) {
+	c := datacenter.NewCenter("dc", geo.London, 4, mkPolicy("p", 0.25, time.Hour))
+	q := NewQueue(NewMatcher([]*datacenter.Center{c}))
+	leases, queued := q.Submit(cpuReq("a", 1, geo.London, math.Inf(1)), t0)
+	if queued || len(leases) != 1 || q.Len() != 0 {
+		t.Fatalf("immediate fit misbehaved: queued=%v leases=%d len=%d", queued, len(leases), q.Len())
+	}
+}
+
+func TestQueueHoldsOverflowAndDrainsFIFO(t *testing.T) {
+	c := datacenter.NewCenter("dc", geo.London, 1, mkPolicy("p", 0.5, time.Hour))
+	q := NewQueue(NewMatcher([]*datacenter.Center{c}))
+
+	// Fill the machine, then queue two more requests.
+	if _, queued := q.Submit(cpuReq("first", 1, geo.London, math.Inf(1)), t0); queued {
+		t.Fatal("first request should fit")
+	}
+	if _, queued := q.Submit(cpuReq("second", 0.5, geo.London, math.Inf(1)), t0); !queued {
+		t.Fatal("second request should queue")
+	}
+	if _, queued := q.Submit(cpuReq("third", 0.5, geo.London, math.Inf(1)), t0); !queued {
+		t.Fatal("third request should queue")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("queue length = %d", q.Len())
+	}
+
+	// Nothing freed yet: drain grants nothing.
+	if granted := q.Drain(t0.Add(30 * time.Minute)); granted != nil {
+		t.Fatalf("early drain granted %v", granted)
+	}
+
+	// After expiry the whole machine frees: both fit, FIFO intact.
+	granted := q.Drain(t0.Add(time.Hour))
+	if len(granted["second"]) != 1 || len(granted["third"]) != 1 {
+		t.Fatalf("drain grants = %v", granted)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}
+
+func TestQueuePartialServiceKeepsRemainder(t *testing.T) {
+	c := datacenter.NewCenter("dc", geo.London, 1, mkPolicy("p", 0.5, time.Hour))
+	q := NewQueue(NewMatcher([]*datacenter.Center{c}))
+	q.Submit(cpuReq("hog", 1, geo.London, math.Inf(1)), t0)
+	// A 2-unit request can never fully fit a 1-unit machine.
+	if _, queued := q.Submit(cpuReq("big", 2, geo.London, math.Inf(1)), t0); !queued {
+		t.Fatal("big request should queue")
+	}
+	granted := q.Drain(t0.Add(time.Hour))
+	if len(granted["big"]) != 1 {
+		t.Fatalf("big request not partially served: %v", granted)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("remainder not kept: len = %d", q.Len())
+	}
+	// The kept remainder is the unserved part (1 unit).
+	if got := q.pending[0].Demand[datacenter.CPU]; got != 1 {
+		t.Fatalf("remainder demand = %v, want 1", got)
+	}
+}
+
+func TestQueueRespectsLatencyBound(t *testing.T) {
+	far := datacenter.NewCenter("sydney", geo.Sydney, 4, mkPolicy("p", 0.25, time.Hour))
+	q := NewQueue(NewMatcher([]*datacenter.Center{far}))
+	if _, queued := q.Submit(cpuReq("eu", 1, geo.London, 2000), t0); !queued {
+		t.Fatal("unservable request should queue")
+	}
+	// No admissible capacity will ever free: the request waits forever
+	// rather than being misplaced.
+	if granted := q.Drain(t0.Add(48 * time.Hour)); granted != nil {
+		t.Fatalf("latency-bound request served from Sydney: %v", granted)
+	}
+	if q.Len() != 1 {
+		t.Fatal("request dropped from the queue")
+	}
+}

@@ -1,0 +1,63 @@
+package emulator
+
+import "time"
+
+// seriesStart anchors the emitted series; the absolute date is
+// irrelevant to prediction, only the 2-minute tick matters.
+var seriesStart = time.Date(2008, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// TableIConfigs returns the paper's eight emulator configurations
+// (Table I). The profile mixes, peak-hours flags, and data-set names
+// are taken directly from the table; the qualitative dynamics levels
+// are assigned so the sets fall into the paper's three signal classes:
+//
+//	Type I   (sets 2, 3, 4): high instantaneous, medium overall;
+//	Type II  (sets 6, 7, 8): low instantaneous;
+//	Type III (sets 1, 5):    medium instantaneous.
+//
+// Seeds differ per set so the eight signals are independent.
+func TableIConfigs() []Config {
+	return []Config{
+		{Name: "Set 1", Seed: 101, ProfileMix: [4]float64{80, 10, 0, 10},
+			PeakHours: false, PeakLoad: High, Overall: Medium, Instant: Medium},
+		{Name: "Set 2", Seed: 102, ProfileMix: [4]float64{60, 10, 0, 20},
+			PeakHours: false, PeakLoad: High, Overall: Medium, Instant: High},
+		{Name: "Set 3", Seed: 103, ProfileMix: [4]float64{70, 20, 0, 10},
+			PeakHours: false, PeakLoad: High, Overall: Medium, Instant: High},
+		{Name: "Set 4", Seed: 104, ProfileMix: [4]float64{70, 30, 0, 0},
+			PeakHours: false, PeakLoad: High, Overall: Medium, Instant: High},
+		{Name: "Set 5", Seed: 105, ProfileMix: [4]float64{30, 40, 30, 0},
+			PeakHours: true, PeakLoad: Medium, Overall: High, Instant: Medium},
+		{Name: "Set 6", Seed: 106, ProfileMix: [4]float64{10, 80, 10, 0},
+			PeakHours: true, PeakLoad: Medium, Overall: High, Instant: Low},
+		{Name: "Set 7", Seed: 107, ProfileMix: [4]float64{20, 40, 40, 0},
+			PeakHours: true, PeakLoad: Medium, Overall: High, Instant: Low},
+		{Name: "Set 8", Seed: 108, ProfileMix: [4]float64{20, 80, 0, 0},
+			PeakHours: true, PeakLoad: Medium, Overall: High, Instant: Low},
+	}
+}
+
+// SignalType classifies a Table I set the way Section IV-D1 does.
+type SignalType int
+
+const (
+	// TypeI signals have high instantaneous and medium overall
+	// dynamics (sets 2, 3, 4).
+	TypeI SignalType = iota + 1
+	// TypeII signals have low instantaneous dynamics (sets 6, 7, 8).
+	TypeII
+	// TypeIII signals have medium instantaneous dynamics (sets 1, 5).
+	TypeIII
+)
+
+// SignalTypeOf returns the signal class of a configuration.
+func SignalTypeOf(c Config) SignalType {
+	switch c.Instant {
+	case High:
+		return TypeI
+	case Low:
+		return TypeII
+	default:
+		return TypeIII
+	}
+}

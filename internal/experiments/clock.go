@@ -1,0 +1,6 @@
+package experiments
+
+import "time"
+
+// nowNano returns a monotonic nanosecond timestamp for micro-timing.
+func nowNano() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, s := range reg {
+		if s.ID == "" || s.Title == "" || s.Artifact == "" || s.Run == nil {
+			t.Errorf("incomplete spec: %+v", s)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate id %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	for _, want := range []string{"fig01", "fig05", "tab05", "tab06", "tab07", "fig14"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	s, err := ByID("fig08")
+	if err != nil || s.ID != "fig08" {
+		t.Fatalf("ByID(fig08) = %+v, %v", s, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := table([]string{"a", "long header"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "long header") {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[1], "--") {
+		t.Fatal("separator missing")
+	}
+}
+
+func TestFig01(t *testing.T) {
+	out, err := Fig01(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"World of Warcraft", "RuneScape", "2008", "titles above 500k"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig01 output missing %q", want)
+		}
+	}
+}
+
+func TestFig02(t *testing.T) {
+	out, err := Fig02(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Unpopular decision", "Content release", "day"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig02 output missing %q", want)
+		}
+	}
+}
+
+func TestFig03(t *testing.T) {
+	out, err := Fig03(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"region 0", "IQR", "ACF", "24h"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig03 output missing %q", want)
+		}
+	}
+}
+
+func TestFig04(t *testing.T) {
+	out, err := Fig04(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Trace 5a", "Trace 7", "thinking time", "group interaction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig04 output missing %q", want)
+		}
+	}
+}
+
+func TestTab01(t *testing.T) {
+	out, err := Tab01(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Set 1", "Set 8", "Type I", "Type II"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tab01 output missing %q", want)
+		}
+	}
+}
+
+func TestFig05(t *testing.T) {
+	out, err := Fig05(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Neural", "Last value", "Sliding window median"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig05 output missing %q", want)
+		}
+	}
+}
+
+func TestFig06(t *testing.T) {
+	out, err := Fig06(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Neural", "median", "µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig06 output missing %q", want)
+		}
+	}
+}
+
+func TestTab05(t *testing.T) {
+	out, err := Tab05(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Neural", "Average", "ExtNet[in]", "events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tab05 output missing %q", want)
+		}
+	}
+}
+
+func TestFig07(t *testing.T) {
+	out, err := Fig07(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Average") {
+		t.Error("fig07 should exclude the Average predictor")
+	}
+	if !strings.Contains(out, "Neural") {
+		t.Error("fig07 missing Neural")
+	}
+}
+
+func TestFig08(t *testing.T) {
+	out, err := Fig08(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"static", "dynamic", "inefficient"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig08 output missing %q", want)
+		}
+	}
+}
+
+func TestTab06(t *testing.T) {
+	out, err := Tab06(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"O(n)", "O(n^3)", "static over"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tab06 output missing %q", want)
+		}
+	}
+}
+
+func TestFig09(t *testing.T) {
+	out, err := Fig09(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "over O(n^2)") {
+		t.Error("fig09 missing O(n^2) series")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	out, err := Fig10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "O(n x log(n))") {
+		t.Error("fig10 missing O(n log n) series")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	out, err := Fig11(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HP-3", "HP-7", "CPU bulk"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig11 output missing %q", want)
+		}
+	}
+}
+
+func TestFig12(t *testing.T) {
+	out, err := Fig12(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HP-5", "HP-11", "time bulk"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig12 output missing %q", want)
+		}
+	}
+}
+
+func TestFig13(t *testing.T) {
+	out, err := Fig13(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Same location", "Very far", "US West"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig13 output missing %q", want)
+		}
+	}
+}
+
+func TestFig14(t *testing.T) {
+	out, err := Fig14(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"East-coast requests", "free", "US East"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig14 output missing %q", want)
+		}
+	}
+}
+
+func TestTab07(t *testing.T) {
+	out, err := Tab07(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"0/0/100", "100/0/0", "heaviest consumer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tab07 output missing %q", want)
+		}
+	}
+}

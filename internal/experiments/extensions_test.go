@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestExtensionsRegistered(t *testing.T) {
+	all := All()
+	if len(all) != len(Registry())+len(Extensions()) {
+		t.Fatalf("All() has %d specs", len(all))
+	}
+	for _, id := range []string{"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07", "ext08", "ext09"} {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("extension %s not resolvable: %v", id, err)
+		}
+	}
+}
+
+func TestExt01Priority(t *testing.T) {
+	out, err := Ext01Priority(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MMOG A", "MMOG C", "fifo", "prioritized"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext01 output missing %q", want)
+		}
+	}
+}
+
+func TestExt02Cost(t *testing.T) {
+	out, err := Ext02Cost(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"static fleet", "rental cost", "Neural"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext02 output missing %q", want)
+		}
+	}
+	// Rental must come in cheaper than owning the fleet: every row's
+	// "of static cost" share is below 100%.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "Neural") && !strings.HasPrefix(line, "Average") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && strings.HasSuffix(fields[2], "%") {
+			var share float64
+			if _, err := fmt.Sscanf(fields[2], "%f%%", &share); err == nil && share >= 100 {
+				t.Errorf("rental share not below static: %s", line)
+			}
+		}
+	}
+}
+
+func TestExt03Predictors(t *testing.T) {
+	out, err := Ext03Predictors(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"AR(6)", "Seasonal naive", "Neural", "step median"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext03 output missing %q", want)
+		}
+	}
+}
+
+func TestExt04Reservations(t *testing.T) {
+	out, err := Ext04Reservations(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"neither books", "books evening peaks", "operator A shortfall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext04 output missing %q", want)
+		}
+	}
+}
+
+func TestExt05Interaction(t *testing.T) {
+	out, err := Ext05Interaction(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scaling exponent", "interactions per entity", "top-zone share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext05 output missing %q", want)
+		}
+	}
+}
+
+func TestExt06Bandwidth(t *testing.T) {
+	out, err := Ext06Bandwidth(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MB/s per client", "fully loaded 2000-client server", "3 MB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext06 output missing %q", want)
+		}
+	}
+}
+
+func TestExt07Margin(t *testing.T) {
+	out, err := Ext07Margin(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"margin", "20%", "events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext07 output missing %q", want)
+		}
+	}
+}
+
+func TestExt08Failure(t *testing.T) {
+	out, err := Ext08Failure(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"no outage", "with outage", "re-acquires"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext08 output missing %q", want)
+		}
+	}
+}
+
+func TestExt09Horizon(t *testing.T) {
+	out, err := Ext09Horizon(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"h=1", "h=30", "Neural", "Holt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext09 output missing %q", want)
+		}
+	}
+}

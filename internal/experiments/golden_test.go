@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden files:
+//
+//	go test ./internal/experiments -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment outputs")
+
+// goldenIDs lists the experiments whose quick-mode output is fully
+// deterministic (seeded PRNGs only — no wall-clock timing). Timing
+// experiments (fig06, ext03, ext09) and anything else that measures
+// durations are excluded.
+var goldenIDs = []string{
+	"fig01", "fig02", "fig03", "fig04", "tab01",
+	"tab05", "fig07", "fig08", "tab06", "fig09", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "tab07",
+	"ext01", "ext02", "ext04", "ext05", "ext06", "ext07", "ext08",
+}
+
+// TestGoldenOutputs pins the quick-mode reports byte-for-byte: any
+// behavioral drift in the substrates shows up as a diff here before it
+// silently reshapes the paper's tables. Regenerate deliberately with
+// -update after intentional changes.
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden comparison")
+	}
+	dir := filepath.Join("testdata", "golden")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			spec, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := spec.Run(quick())
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, id+".txt")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Skipf("no golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from golden file %s;\nregenerate with -update if the change is intentional.\nfirst divergence: %s",
+					path, firstDiff(got, string(want)))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(a, b string) string {
+	la, lb := splitLines(a), splitLines(b)
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return "line " + itoa(i+1) + ": got " + la[i] + " | want " + lb[i]
+		}
+	}
+	if len(la) != len(lb) {
+		return "length differs: " + itoa(len(la)) + " vs " + itoa(len(lb)) + " lines"
+	}
+	return "(identical?)"
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

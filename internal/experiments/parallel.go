@@ -1,0 +1,30 @@
+package experiments
+
+import "sync"
+
+// parallelMap runs fn(0..n-1) concurrently and returns the collected
+// results in index order, or the first error encountered. The sweep
+// experiments use it to run their independent simulations — different
+// predictors, policies, update models, latency classes — in parallel:
+// each simulation owns its centers, leases, and predictors, and only
+// reads the shared trace dataset and the pretrained network prototype
+// (which is cloned, never trained, after pretraining).
+func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceZero(t *testing.T) {
+	if d := DistanceKm(London, London); d != 0 {
+		t.Fatalf("distance of a point to itself = %v", d)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	err := quick.Check(func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{math.Mod(lat1, 90), math.Mod(lon1, 180)}
+		b := Point{math.Mod(lat2, 90), math.Mod(lon2, 180)}
+		d1 := DistanceKm(a, b)
+		d2 := DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceKnownPairs(t *testing.T) {
+	cases := []struct {
+		a, b     Point
+		wantKm   float64
+		tolerKm  float64
+		pairName string
+	}{
+		{London, Amsterdam, 358, 15, "London-Amsterdam"},
+		{NewYork, LosAngeles, 3936, 50, "NewYork-LosAngeles"},
+		{Helsinki, Stockholm, 396, 15, "Helsinki-Stockholm"},
+		{Sydney, Melbourne, 714, 20, "Sydney-Melbourne"},
+		{London, Sydney, 16994, 150, "London-Sydney"},
+	}
+	for _, c := range cases {
+		got := DistanceKm(c.a, c.b)
+		if math.Abs(got-c.wantKm) > c.tolerKm {
+			t.Errorf("%s: got %.0f km, want %.0f±%.0f", c.pairName, got, c.wantKm, c.tolerKm)
+		}
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	pts := []Point{London, NewYork, Sydney, Helsinki, SanJose, Montreal}
+	for _, a := range pts {
+		for _, b := range pts {
+			for _, c := range pts {
+				ab := DistanceKm(a, b)
+				bc := DistanceKm(b, c)
+				ac := DistanceKm(a, c)
+				if ac > ab+bc+1e-6 {
+					t.Fatalf("triangle inequality violated: d(%v,%v)=%v > %v+%v", a, c, ac, ab, bc)
+				}
+			}
+		}
+	}
+}
+
+func TestLatencyClassThresholds(t *testing.T) {
+	cases := []struct {
+		d    float64
+		want LatencyClass
+	}{
+		{0, SameLocation},
+		{49, SameLocation},
+		{51, VeryClose},
+		{999, VeryClose},
+		{1000, Close},
+		{1999, Close},
+		{2000, Far},
+		{3999, Far},
+		{4000, VeryFar},
+		{20000, VeryFar},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.d); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestAdmitsMonotonicity(t *testing.T) {
+	// A looser class must admit everything a tighter class admits.
+	distances := []float64{0, 10, 100, 999, 1500, 3000, 8000}
+	for i := 0; i+1 < len(AllLatencyClasses); i++ {
+		tight, loose := AllLatencyClasses[i], AllLatencyClasses[i+1]
+		for _, d := range distances {
+			if tight.Admits(d) && !loose.Admits(d) {
+				t.Errorf("%v admits %v km but %v does not", tight, d, loose)
+			}
+		}
+	}
+}
+
+func TestVeryFarAdmitsEverything(t *testing.T) {
+	for _, d := range []float64{0, 1, 1e4, 1e6, math.MaxFloat64} {
+		if !VeryFar.Admits(d) {
+			t.Fatalf("VeryFar rejected distance %v", d)
+		}
+	}
+}
+
+func TestLatencyClassStrings(t *testing.T) {
+	for _, c := range AllLatencyClasses {
+		if c.String() == "" {
+			t.Errorf("class %d has empty String()", int(c))
+		}
+	}
+	if got := LatencyClass(99).String(); got != "LatencyClass(99)" {
+		t.Errorf("unknown class String() = %q", got)
+	}
+}
+
+func TestClassOfConsistentWithAdmits(t *testing.T) {
+	err := quick.Check(func(raw float64) bool {
+		d := math.Abs(math.Mod(raw, 25000))
+		c := ClassOf(d)
+		if !c.Admits(d) {
+			return false
+		}
+		// The next-tighter class must not admit it.
+		if c > SameLocation && LatencyClass(c-1).Admits(d) {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

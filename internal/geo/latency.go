@@ -1,0 +1,66 @@
+package geo
+
+import "math"
+
+// Network latency model: the Section V-E experiments assume "an ideal
+// network behavior, thus the latency between the players and the data
+// centers is exclusively determined by their physical distance". This
+// file makes that mapping explicit so a game's latency tolerance in
+// milliseconds (the quantity Claypool et al. measured per genre) can
+// be converted into the maximal service distance the matchmaker
+// filters by.
+
+// Signals in fiber travel at roughly 2/3 of the speed of light;
+// routing inflates path length over the great-circle distance.
+const (
+	// fiberKmPerMs is the one-way distance light covers in fiber per
+	// millisecond (≈ 200 km).
+	fiberKmPerMs = 200.0
+	// routingFactor inflates the great-circle distance to a realistic
+	// fiber path length.
+	routingFactor = 1.6
+	// basePenaltyMs covers the distance-independent latency: access
+	// networks, server processing, and queuing.
+	basePenaltyMs = 15.0
+)
+
+// RTTms estimates the round-trip time in milliseconds between two
+// points under the ideal distance-driven network model.
+func RTTms(a, b Point) float64 {
+	return RTTmsAtDistance(DistanceKm(a, b))
+}
+
+// RTTmsAtDistance estimates the round-trip time for a great-circle
+// distance in kilometres.
+func RTTmsAtDistance(dKm float64) float64 {
+	if dKm < 0 {
+		dKm = 0
+	}
+	return basePenaltyMs + 2*dKm*routingFactor/fiberKmPerMs
+}
+
+// MaxDistanceKmForRTT inverts RTTmsAtDistance: the farthest a server
+// may be while keeping the round trip within the budget. Budgets below
+// the base penalty return 0 (only co-located service can help).
+func MaxDistanceKmForRTT(budgetMs float64) float64 {
+	if budgetMs <= basePenaltyMs {
+		return 0
+	}
+	return (budgetMs - basePenaltyMs) * fiberKmPerMs / (2 * routingFactor)
+}
+
+// ClassForRTT returns the tightest latency class whose maximal
+// distance keeps the round trip within the budget — how a game design
+// picks its Section V-E service class from its playability threshold.
+func ClassForRTT(budgetMs float64) LatencyClass {
+	maxKm := MaxDistanceKmForRTT(budgetMs)
+	for _, c := range AllLatencyClasses {
+		limit := c.MaxDistanceKm()
+		if math.IsInf(limit, 1) || maxKm <= limit {
+			if maxKm <= limit {
+				return c
+			}
+		}
+	}
+	return VeryFar
+}

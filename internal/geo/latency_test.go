@@ -1,0 +1,89 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRTTBase(t *testing.T) {
+	if got := RTTmsAtDistance(0); got != 15 {
+		t.Fatalf("zero-distance RTT = %v, want base penalty 15", got)
+	}
+	if got := RTTmsAtDistance(-5); got != 15 {
+		t.Fatalf("negative distance RTT = %v", got)
+	}
+}
+
+func TestRTTGrowsWithDistance(t *testing.T) {
+	prev := 0.0
+	for _, d := range []float64{0, 100, 1000, 5000, 15000} {
+		rtt := RTTmsAtDistance(d)
+		if rtt <= prev {
+			t.Fatalf("RTT not increasing at %v km", d)
+		}
+		prev = rtt
+	}
+}
+
+func TestRTTKnownScale(t *testing.T) {
+	// Transatlantic (~5600 km London-NY): RTT should land in the
+	// familiar 80-120 ms band.
+	rtt := RTTms(London, NewYork)
+	if rtt < 60 || rtt > 130 {
+		t.Fatalf("London-NY RTT = %v ms, want ~60-130", rtt)
+	}
+	// Same metro: near the base penalty.
+	if rtt := RTTmsAtDistance(20); rtt > 20 {
+		t.Fatalf("metro RTT = %v ms", rtt)
+	}
+}
+
+func TestMaxDistanceInversion(t *testing.T) {
+	err := quick.Check(func(raw float64) bool {
+		budget := 16 + math.Abs(math.Mod(raw, 400))
+		d := MaxDistanceKmForRTT(budget)
+		back := RTTmsAtDistance(d)
+		return math.Abs(back-budget) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxDistanceBelowBase(t *testing.T) {
+	if MaxDistanceKmForRTT(10) != 0 {
+		t.Fatal("sub-base budget should force co-location")
+	}
+	if MaxDistanceKmForRTT(15) != 0 {
+		t.Fatal("exact-base budget should force co-location")
+	}
+}
+
+func TestClassForRTTGenreBudgets(t *testing.T) {
+	if got := ClassForRTT(10); got != SameLocation {
+		t.Errorf("ClassForRTT(10) = %v", got)
+	}
+	if got := ClassForRTT(30); got != VeryClose {
+		// 15 ms of slack -> 937 km.
+		t.Errorf("ClassForRTT(30) = %v", got)
+	}
+	if got := ClassForRTT(50); got != Far {
+		// 35 ms -> 2187 km -> Far.
+		t.Errorf("ClassForRTT(50) = %v", got)
+	}
+	if got := ClassForRTT(1000); got != VeryFar {
+		t.Errorf("ClassForRTT(1000) = %v", got)
+	}
+}
+
+func TestClassForRTTMonotone(t *testing.T) {
+	prev := SameLocation
+	for budget := 5.0; budget <= 500; budget += 5 {
+		c := ClassForRTT(budget)
+		if c < prev {
+			t.Fatalf("class regressed at budget %v ms", budget)
+		}
+		prev = c
+	}
+}

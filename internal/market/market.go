@@ -1,0 +1,134 @@
+// Package market embeds the MMORPG subscription-growth dataset behind
+// the paper's Fig. 1 (sourced, as the paper's was, from the public
+// Woodcock MMOG-subscription survey plus the authors' own counts after
+// June 2006). The figure motivates the provisioning problem: a handful
+// of titles hold hundreds of thousands to millions of active players,
+// and the aggregate market grows super-linearly — the paper projects
+// over 60 million players by 2011 in the US and EU markets alone.
+package market
+
+import "sort"
+
+// Point is a (year, active players) observation. Years are fractional
+// (mid-year samples use .5).
+type Point struct {
+	Year    float64
+	Players float64 // millions
+}
+
+// GameSeries is one title's subscription history.
+type GameSeries struct {
+	Name   string
+	Points []Point
+}
+
+// PlayersAt linearly interpolates the series at the given year,
+// returning 0 outside the observed range (before launch, after
+// shutdown).
+func (g GameSeries) PlayersAt(year float64) float64 {
+	pts := g.Points
+	if len(pts) == 0 || year < pts[0].Year || year > pts[len(pts)-1].Year {
+		return 0
+	}
+	idx := sort.Search(len(pts), func(i int) bool { return pts[i].Year >= year })
+	if idx == 0 {
+		return pts[0].Players
+	}
+	if idx >= len(pts) {
+		return pts[len(pts)-1].Players
+	}
+	a, b := pts[idx-1], pts[idx]
+	if b.Year == a.Year {
+		return b.Players
+	}
+	f := (year - a.Year) / (b.Year - a.Year)
+	return a.Players + f*(b.Players-a.Players)
+}
+
+// Dataset returns the embedded Fig. 1 series: the major MMORPGs of
+// 1997–2008 with approximate active-player counts in millions. Six
+// titles exceed 500k players by 2008, with World of Warcraft and
+// RuneScape leading, as in the paper.
+func Dataset() []GameSeries {
+	return []GameSeries{
+		{Name: "Ultima Online", Points: []Point{
+			{1997.7, 0.05}, {1998.5, 0.1}, {2000, 0.16}, {2002, 0.25}, {2004, 0.18}, {2006, 0.13}, {2008, 0.1}}},
+		{Name: "EverQuest", Points: []Point{
+			{1999.2, 0.06}, {2000, 0.25}, {2001.5, 0.42}, {2003, 0.43}, {2004.5, 0.41}, {2006, 0.2}, {2008, 0.15}}},
+		{Name: "Asheron's Call", Points: []Point{
+			{1999.9, 0.05}, {2001, 0.12}, {2003, 0.1}, {2005, 0.06}, {2008, 0.03}}},
+		{Name: "Lineage", Points: []Point{
+			{1998.7, 0.1}, {2000, 1.0}, {2001.5, 2.5}, {2003, 3.0}, {2004.5, 2.2}, {2006, 1.4}, {2008, 1.0}}},
+		{Name: "Dark Age of Camelot", Points: []Point{
+			{2001.8, 0.1}, {2002.5, 0.23}, {2003.5, 0.25}, {2005, 0.15}, {2008, 0.05}}},
+		{Name: "RuneScape", Points: []Point{
+			{2001, 0.02}, {2002, 0.1}, {2003, 0.3}, {2004, 0.6}, {2005, 1.2}, {2006, 3.0}, {2007, 4.5}, {2008, 5.0}}},
+		{Name: "Final Fantasy XI", Points: []Point{
+			{2002.4, 0.2}, {2003.5, 0.45}, {2005, 0.55}, {2006.5, 0.5}, {2008, 0.48}}},
+		{Name: "Eve Online", Points: []Point{
+			{2003.4, 0.03}, {2004.5, 0.07}, {2006, 0.13}, {2007, 0.2}, {2008, 0.25}}},
+		{Name: "Star Wars Galaxies", Points: []Point{
+			{2003.5, 0.15}, {2004.5, 0.3}, {2005.5, 0.25}, {2006.5, 0.1}, {2008, 0.06}}},
+		{Name: "Lineage II", Points: []Point{
+			{2003.8, 0.3}, {2005, 1.8}, {2006, 1.6}, {2007, 1.4}, {2008, 1.2}}},
+		{Name: "City of Heroes", Points: []Point{
+			{2004.3, 0.15}, {2005, 0.18}, {2006, 0.16}, {2007.5, 0.13}, {2008, 0.12}}},
+		{Name: "World of Warcraft", Points: []Point{
+			{2004.9, 0.5}, {2005.5, 3.5}, {2006, 6.0}, {2006.9, 8.0}, {2007.5, 9.3}, {2008, 10.0}}},
+		{Name: "EverQuest II", Points: []Point{
+			{2004.9, 0.3}, {2005.5, 0.45}, {2006.5, 0.25}, {2008, 0.2}}},
+		{Name: "Guild Wars", Points: []Point{
+			{2005.3, 0.5}, {2006, 1.0}, {2007, 0.9}, {2008, 0.7}}},
+		{Name: "Dofus", Points: []Point{
+			{2004.7, 0.05}, {2005.5, 0.2}, {2006.5, 0.5}, {2007.5, 0.6}, {2008, 0.65}}},
+		{Name: "Second Life", Points: []Point{
+			{2003.5, 0.01}, {2005, 0.05}, {2006, 0.2}, {2007, 0.55}, {2008, 0.6}}},
+		{Name: "Tibia", Points: []Point{
+			{1997.1, 0.005}, {2000, 0.02}, {2003, 0.1}, {2005, 0.25}, {2007, 0.3}, {2008, 0.3}}},
+		{Name: "Toontown Online", Points: []Point{
+			{2003.5, 0.05}, {2005, 0.12}, {2007, 0.12}, {2008, 0.1}}},
+	}
+}
+
+// TotalAt returns the market-wide total (millions) at a year.
+func TotalAt(year float64) float64 {
+	var sum float64
+	for _, g := range Dataset() {
+		sum += g.PlayersAt(year)
+	}
+	return sum
+}
+
+// Top returns the n games with the most players at the given year,
+// most popular first.
+func Top(year float64, n int) []GameSeries {
+	ds := Dataset()
+	sort.Slice(ds, func(i, j int) bool {
+		return ds[i].PlayersAt(year) > ds[j].PlayersAt(year)
+	})
+	if n > len(ds) {
+		n = len(ds)
+	}
+	return ds[:n]
+}
+
+// GrowthReport summarizes the market at each year in [from, to].
+type GrowthReport struct {
+	Year   float64
+	Total  float64
+	Leader string
+}
+
+// Growth returns yearly totals and the leading title.
+func Growth(from, to float64) []GrowthReport {
+	var out []GrowthReport
+	for y := from; y <= to+1e-9; y++ {
+		top := Top(y, 1)
+		leader := ""
+		if len(top) > 0 && top[0].PlayersAt(y) > 0 {
+			leader = top[0].Name
+		}
+		out = append(out, GrowthReport{Year: y, Total: TotalAt(y), Leader: leader})
+	}
+	return out
+}

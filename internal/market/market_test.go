@@ -1,0 +1,86 @@
+package market
+
+import "testing"
+
+func TestPlayersAtInterpolation(t *testing.T) {
+	g := GameSeries{Name: "x", Points: []Point{{2000, 1}, {2002, 3}}}
+	if got := g.PlayersAt(2001); got != 2 {
+		t.Fatalf("interpolated = %v, want 2", got)
+	}
+	if got := g.PlayersAt(2000); got != 1 {
+		t.Fatalf("left endpoint = %v", got)
+	}
+	if got := g.PlayersAt(2002); got != 3 {
+		t.Fatalf("right endpoint = %v", got)
+	}
+	if g.PlayersAt(1999) != 0 || g.PlayersAt(2003) != 0 {
+		t.Fatal("outside range should be 0")
+	}
+	if (GameSeries{}).PlayersAt(2000) != 0 {
+		t.Fatal("empty series should be 0")
+	}
+}
+
+func TestDatasetShape(t *testing.T) {
+	ds := Dataset()
+	if len(ds) < 15 {
+		t.Fatalf("dataset too small: %d games", len(ds))
+	}
+	// Six titles with > 500k players by 2008, as the paper highlights.
+	big := 0
+	for _, g := range ds {
+		if g.PlayersAt(2008) >= 0.5 {
+			big++
+		}
+	}
+	if big < 6 {
+		t.Fatalf("only %d titles above 500k in 2008, want >= 6", big)
+	}
+	// Series are sorted by year.
+	for _, g := range ds {
+		for i := 1; i < len(g.Points); i++ {
+			if g.Points[i].Year <= g.Points[i-1].Year {
+				t.Fatalf("%s: unsorted points at %d", g.Name, i)
+			}
+		}
+	}
+}
+
+func TestMarketGrowth(t *testing.T) {
+	// The market must grow strongly over the decade.
+	if TotalAt(2008) < 4*TotalAt(2002) {
+		t.Fatalf("2008 total %v should dwarf 2002 total %v", TotalAt(2008), TotalAt(2002))
+	}
+}
+
+func TestTopLeaders(t *testing.T) {
+	top := Top(2008, 2)
+	if top[0].Name != "World of Warcraft" {
+		t.Fatalf("2008 leader = %s", top[0].Name)
+	}
+	if top[1].Name != "RuneScape" {
+		t.Fatalf("2008 runner-up = %s, want RuneScape", top[1].Name)
+	}
+	top03 := Top(2003, 1)
+	if top03[0].Name != "Lineage" {
+		t.Fatalf("2003 leader = %s, want Lineage", top03[0].Name)
+	}
+	if got := Top(2008, 100); len(got) != len(Dataset()) {
+		t.Fatal("Top should clamp n")
+	}
+}
+
+func TestGrowthReport(t *testing.T) {
+	rep := Growth(1997, 2008)
+	if len(rep) != 12 {
+		t.Fatalf("report years = %d", len(rep))
+	}
+	if rep[len(rep)-1].Leader != "World of Warcraft" {
+		t.Fatalf("2008 leader = %s", rep[len(rep)-1].Leader)
+	}
+	for i := 1; i < len(rep); i++ {
+		if rep[i].Year != rep[i-1].Year+1 {
+			t.Fatal("years not consecutive")
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package mmog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUpdateModelStrings(t *testing.T) {
+	want := map[UpdateModel]string{
+		UpdateLinear:       "O(n)",
+		UpdateNLogN:        "O(n x log(n))",
+		UpdateQuadratic:    "O(n^2)",
+		UpdateQuadraticLog: "O(n^2 x log(n))",
+		UpdateCubic:        "O(n^3)",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+	if UpdateModel(42).String() != "UpdateModel(42)" {
+		t.Error("unknown model String() wrong")
+	}
+}
+
+func TestCPUUnitsNormalization(t *testing.T) {
+	// Every model must cost exactly 1.0 unit at full server capacity.
+	for _, m := range AllUpdateModels {
+		if got := m.CPUUnits(FullServerClients); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%v: CPUUnits(full) = %v, want 1", m, got)
+		}
+	}
+}
+
+func TestCPUUnitsZeroAndNegative(t *testing.T) {
+	for _, m := range AllUpdateModels {
+		if m.CPUUnits(0) != 0 || m.CPUUnits(-5) != 0 {
+			t.Errorf("%v: non-positive entity count should cost 0", m)
+		}
+	}
+}
+
+func TestCPUUnitsMonotone(t *testing.T) {
+	for _, m := range AllUpdateModels {
+		prev := 0.0
+		for n := 1.0; n <= 4*FullServerClients; n *= 1.5 {
+			cur := m.CPUUnits(n)
+			if cur <= prev {
+				t.Fatalf("%v: CPUUnits not strictly increasing at n=%v", m, n)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestSuperLinearOrderingAboveCapacity(t *testing.T) {
+	// Past the nominal capacity, more complex models must cost more
+	// (the hot-spot effect); below half capacity the ordering flips.
+	n := 2.0 * FullServerClients
+	for i := 0; i+1 < len(AllUpdateModels); i++ {
+		lo := AllUpdateModels[i].CPUUnits(n)
+		hi := AllUpdateModels[i+1].CPUUnits(n)
+		if hi <= lo {
+			t.Errorf("at n=%v, %v (%v) should cost more than %v (%v)",
+				n, AllUpdateModels[i+1], hi, AllUpdateModels[i], lo)
+		}
+	}
+	n = 0.25 * FullServerClients
+	for i := 0; i+1 < len(AllUpdateModels); i++ {
+		lo := AllUpdateModels[i].CPUUnits(n)
+		hi := AllUpdateModels[i+1].CPUUnits(n)
+		if hi >= lo {
+			t.Errorf("at quarter load, %v should cost less than %v", AllUpdateModels[i+1], AllUpdateModels[i])
+		}
+	}
+}
+
+func TestEntitiesForCPURoundTrip(t *testing.T) {
+	for _, m := range AllUpdateModels {
+		for _, n := range []float64{10, 250, 1000, 2000, 3500, 6000} {
+			units := m.CPUUnits(n)
+			back := m.EntitiesForCPU(units)
+			if math.Abs(back-n) > n*1e-6+1e-6 {
+				t.Errorf("%v: round trip %v -> %v -> %v", m, n, units, back)
+			}
+		}
+		if m.EntitiesForCPU(0) != 0 || m.EntitiesForCPU(-1) != 0 {
+			t.Errorf("%v: non-positive units should map to 0 entities", m)
+		}
+	}
+}
+
+func TestEntitiesForCPUMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(a, b float64) bool {
+		u1 := math.Abs(math.Mod(a, 10))
+		u2 := math.Abs(math.Mod(b, 10))
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		for _, m := range AllUpdateModels {
+			if m.EntitiesForCPU(u1) > m.EntitiesForCPU(u2)+1e-6 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenreDefaults(t *testing.T) {
+	cases := []struct {
+		g      Genre
+		update UpdateModel
+	}{
+		{GenrePuzzle, UpdateLinear},
+		{GenreRPG, UpdateNLogN},
+		{GenreMMORPG, UpdateQuadratic},
+		{GenreRTS, UpdateQuadraticLog},
+		{GenreFPS, UpdateCubic},
+	}
+	for _, c := range cases {
+		if got := c.g.DefaultUpdateModel(); got != c.update {
+			t.Errorf("%v default update = %v, want %v", c.g, got, c.update)
+		}
+	}
+}
+
+func TestLatencyToleranceOrdering(t *testing.T) {
+	// Faster-paced genres must have tighter latency budgets.
+	order := []Genre{GenrePuzzle, GenreRPG, GenreMMORPG, GenreRTS, GenreFPS}
+	for i := 0; i+1 < len(order); i++ {
+		if order[i].LatencyToleranceMs() <= order[i+1].LatencyToleranceMs() {
+			t.Errorf("%v tolerance should exceed %v's", order[i], order[i+1])
+		}
+	}
+}
+
+func TestGenreStrings(t *testing.T) {
+	for _, g := range []Genre{GenrePuzzle, GenreRPG, GenreMMORPG, GenreRTS, GenreFPS} {
+		if g.String() == "" {
+			t.Errorf("genre %d has empty String", int(g))
+		}
+	}
+}
+
+func TestNewGameDefaults(t *testing.T) {
+	g := NewGame("test", GenreFPS)
+	if g.Update != UpdateCubic {
+		t.Errorf("FPS game update = %v", g.Update)
+	}
+	if !math.IsInf(g.LatencyKm, 1) {
+		t.Errorf("default latency should be unconstrained")
+	}
+	if g.Profile != DefaultProfile {
+		t.Errorf("default profile not applied")
+	}
+}
+
+func TestDemandVectorOps(t *testing.T) {
+	a := Demand{CPU: 1, Memory: 2, ExtNetIn: 3, ExtNetOut: 4}
+	b := Demand{CPU: 10, Memory: 1, ExtNetIn: 30, ExtNetOut: 1}
+	sum := a.Add(b)
+	if sum != (Demand{11, 3, 33, 5}) {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if a.Scale(2) != (Demand{2, 4, 6, 8}) {
+		t.Fatalf("Scale = %+v", a.Scale(2))
+	}
+	if a.Max(b) != (Demand{10, 2, 30, 4}) {
+		t.Fatalf("Max = %+v", a.Max(b))
+	}
+	if !(Demand{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestDemandForEntitiesFullServer(t *testing.T) {
+	g := NewGame("rs", GenreMMORPG)
+	d := g.DemandForEntities(FullServerClients)
+	for name, v := range map[string]float64{
+		"cpu": d.CPU, "mem": d.Memory, "in": d.ExtNetIn, "out": d.ExtNetOut,
+	} {
+		if math.Abs(v-1) > 1e-9 {
+			t.Errorf("full-server %s demand = %v, want 1", name, v)
+		}
+	}
+	if !g.DemandForEntities(0).IsZero() {
+		t.Error("zero entities should have zero demand")
+	}
+}
+
+func TestNetworkScalesLinearlyRegardlessOfModel(t *testing.T) {
+	// Network demand tracks client count, not simulation complexity.
+	for _, genre := range []Genre{GenrePuzzle, GenreFPS} {
+		g := NewGame("x", genre)
+		d := g.DemandForEntities(FullServerClients / 2)
+		if math.Abs(d.ExtNetOut-0.5) > 1e-9 {
+			t.Errorf("%v: half-load ExtNetOut = %v, want 0.5", genre, d.ExtNetOut)
+		}
+	}
+}
+
+func TestHotSpotCostsMoreThanSpreadLoad(t *testing.T) {
+	// The same population concentrated in one zone must cost more CPU
+	// than spread across zones, for every super-linear model.
+	for _, m := range AllUpdateModels[1:] {
+		g := &Game{Name: "hs", Update: m, Profile: DefaultProfile}
+		hot := g.DemandForZones([]float64{2000, 0, 0, 0})
+		spread := g.DemandForZones([]float64{500, 500, 500, 500})
+		if hot.CPU <= spread.CPU {
+			t.Errorf("%v: hot-spot CPU %v should exceed spread CPU %v", m, hot.CPU, spread.CPU)
+		}
+		// Network is population-driven, so it must match.
+		if math.Abs(hot.ExtNetOut-spread.ExtNetOut) > 1e-9 {
+			t.Errorf("%v: network demand should not depend on spread", m)
+		}
+	}
+}
+
+func TestLinearModelIndifferentToSpread(t *testing.T) {
+	g := &Game{Name: "lin", Update: UpdateLinear, Profile: DefaultProfile}
+	hot := g.DemandForZones([]float64{2000})
+	spread := g.DemandForZones([]float64{1000, 1000})
+	if math.Abs(hot.CPU-spread.CPU) > 1e-9 {
+		t.Errorf("O(n) should be spread-invariant: %v vs %v", hot.CPU, spread.CPU)
+	}
+}
+
+func TestDemandForZonesAdditive(t *testing.T) {
+	g := NewGame("add", GenreMMORPG)
+	zones := []float64{100, 900, 1500}
+	var want Demand
+	for _, n := range zones {
+		want = want.Add(g.DemandForEntities(n))
+	}
+	got := g.DemandForZones(zones)
+	if math.Abs(got.CPU-want.CPU) > 1e-12 {
+		t.Fatalf("DemandForZones = %+v, want %+v", got, want)
+	}
+}
+
+func TestDemandNonNegativeProperty(t *testing.T) {
+	g := NewGame("prop", GenreRTS)
+	err := quick.Check(func(ns []float64) bool {
+		zones := make([]float64, 0, len(ns))
+		for _, n := range ns {
+			if math.IsNaN(n) || math.IsInf(n, 0) {
+				continue
+			}
+			zones = append(zones, math.Mod(n, 1e5))
+		}
+		d := g.DemandForZones(zones)
+		return d.CPU >= 0 && d.Memory >= 0 && d.ExtNetIn >= 0 && d.ExtNetOut >= 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyGenreLatency(t *testing.T) {
+	fps := NewGame("fps", GenreFPS).ApplyGenreLatency()
+	puzzle := NewGame("puzzle", GenrePuzzle).ApplyGenreLatency()
+	if math.IsInf(fps.LatencyKm, 1) {
+		t.Fatal("FPS latency bound should be finite")
+	}
+	if fps.LatencyKm >= puzzle.LatencyKm {
+		t.Fatalf("FPS bound %v should be tighter than puzzle's %v", fps.LatencyKm, puzzle.LatencyKm)
+	}
+	// The chain returns the same game.
+	g := NewGame("x", GenreRTS)
+	if g.ApplyGenreLatency() != g {
+		t.Fatal("ApplyGenreLatency should return the receiver")
+	}
+}

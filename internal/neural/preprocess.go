@@ -1,0 +1,154 @@
+package neural
+
+import (
+	"fmt"
+	"math"
+)
+
+// Preprocessor transforms a raw input window before it reaches the
+// network. The paper attaches "several signal preprocessors based on
+// polynomial functions which have the purpose of removing the
+// unwanted noise from the processed signal".
+type Preprocessor interface {
+	// Process returns the de-noised window; the result has the same
+	// length as the input. Implementations must not retain the input.
+	Process(window []float64) []float64
+}
+
+// Identity passes the window through unchanged.
+type Identity struct{}
+
+// Process implements Preprocessor.
+func (Identity) Process(window []float64) []float64 {
+	return append([]float64(nil), window...)
+}
+
+// PolySmoother least-squares-fits a polynomial of the configured
+// degree to the window and returns the fitted values — a zero-delay
+// smoothing filter (Savitzky–Golay style, full-window variant). The
+// fit is recomputed per call, which is what keeps the neural predictor
+// the slowest-but-still-microsecond method in Fig. 6.
+type PolySmoother struct {
+	// Degree of the fitted polynomial; 2 works well for the 6-sample
+	// windows the paper uses.
+	Degree int
+}
+
+// Process implements Preprocessor.
+func (p PolySmoother) Process(window []float64) []float64 {
+	n := len(window)
+	deg := p.Degree
+	if deg < 0 {
+		deg = 0
+	}
+	if deg >= n {
+		// Not enough points to constrain the fit; pass through.
+		return append([]float64(nil), window...)
+	}
+	coef := polyfit(window, deg)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = polyval(coef, float64(i))
+	}
+	return out
+}
+
+// polyfit fits y[i] ~ poly(i) of the given degree by solving the
+// normal equations with Gaussian elimination. Windows are tiny (6–12
+// samples, degree <= 3), so the cubic cost is irrelevant.
+func polyfit(y []float64, degree int) []float64 {
+	n := len(y)
+	k := degree + 1
+	// Precompute power sums S_m = sum(i^m) and T_m = sum(i^m * y_i).
+	s := make([]float64, 2*k-1)
+	tv := make([]float64, k)
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		pw := 1.0
+		for m := 0; m < 2*k-1; m++ {
+			s[m] += pw
+			if m < k {
+				tv[m] += pw * y[i]
+			}
+			pw *= x
+		}
+	}
+	// Build the normal-equation matrix A[r][c] = S_{r+c}.
+	a := make([][]float64, k)
+	for r := 0; r < k; r++ {
+		a[r] = make([]float64, k+1)
+		for c := 0; c < k; c++ {
+			a[r][c] = s[r+c]
+		}
+		a[r][k] = tv[r]
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if a[col][col] == 0 {
+			continue // singular; coefficient stays zero
+		}
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	coef := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		if a[r][r] == 0 {
+			coef[r] = 0
+			continue
+		}
+		sum := a[r][k]
+		for c := r + 1; c < k; c++ {
+			sum -= a[r][c] * coef[c]
+		}
+		coef[r] = sum / a[r][r]
+	}
+	return coef
+}
+
+// polyval evaluates the polynomial (Horner).
+func polyval(coef []float64, x float64) float64 {
+	v := 0.0
+	for i := len(coef) - 1; i >= 0; i-- {
+		v = v*x + coef[i]
+	}
+	return v
+}
+
+// Normalizer maps raw values into the network's working range [0, 1]
+// given a fixed capacity, and back.
+type Normalizer struct {
+	// Capacity is the value mapped to 1.0; it must be positive.
+	Capacity float64
+}
+
+// NewNormalizer validates the capacity.
+func NewNormalizer(capacity float64) (Normalizer, error) {
+	if capacity <= 0 {
+		return Normalizer{}, fmt.Errorf("neural: capacity must be positive, got %v", capacity)
+	}
+	return Normalizer{Capacity: capacity}, nil
+}
+
+// Norm maps a raw value into [0, ...]; values above capacity exceed 1.
+func (n Normalizer) Norm(v float64) float64 { return v / n.Capacity }
+
+// Denorm inverts Norm, clamping at zero (a population prediction can
+// never be negative).
+func (n Normalizer) Denorm(v float64) float64 {
+	out := v * n.Capacity
+	if out < 0 {
+		return 0
+	}
+	return out
+}

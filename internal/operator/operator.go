@@ -1,0 +1,186 @@
+// Package operator implements the game operator's online provisioning
+// loop as a reusable component — the middleware role the paper's
+// edutain@grid project occupies between the game and the data centers.
+// Every tick the operator ingests the monitored per-zone load,
+// forecasts the next interval with its per-zone predictors, converts
+// the forecast into a resource demand through the game's update model,
+// and leases any shortfall from the ecosystem. The trace-driven
+// batch simulator in internal/core implements the same cycle for whole
+// experiment runs; this package is its online, incremental sibling for
+// live deployments (see examples/live).
+package operator
+
+import (
+	"fmt"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/ecosystem"
+	"mmogdc/internal/geo"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/predict"
+)
+
+// Config assembles an operator.
+type Config struct {
+	// Game fixes the update model, resource profile, and latency
+	// tolerance.
+	Game *mmog.Game
+	// Origin is where the game's players are (for latency matching).
+	Origin geo.Point
+	// Predictor builds one predictor per monitored zone.
+	Predictor predict.Factory
+	// Matcher is the data-center ecosystem to lease from.
+	Matcher *ecosystem.Matcher
+	// SafetyMargin inflates forecasts before requesting (0 = exact).
+	SafetyMargin float64
+	// Tick is the monitoring interval; defaults to two minutes.
+	Tick time.Duration
+}
+
+// Operator runs the predict→demand→lease cycle for one game.
+type Operator struct {
+	cfg    Config
+	zones  *predict.ZoneSet
+	leases []*datacenter.Lease
+	ticks  int
+	// running totals for Metrics.
+	shortfallSum float64
+	overSum      float64
+	overTicks    int
+	events       int
+	lastForecast []float64
+}
+
+// New validates the configuration and returns an operator.
+func New(cfg Config) (*Operator, error) {
+	if cfg.Game == nil {
+		return nil, fmt.Errorf("operator: game required")
+	}
+	if cfg.Predictor == nil {
+		return nil, fmt.Errorf("operator: predictor required")
+	}
+	if cfg.Matcher == nil {
+		return nil, fmt.Errorf("operator: matcher required")
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 2 * time.Minute
+	}
+	return &Operator{cfg: cfg}, nil
+}
+
+// Metrics summarizes the operator's run so far.
+type Metrics struct {
+	// Ticks is the number of Observe calls handled.
+	Ticks int
+	// AvgOverPct is the mean CPU over-allocation beyond the load.
+	AvgOverPct float64
+	// AvgShortfall is the mean unserved CPU demand in units.
+	AvgShortfall float64
+	// Events counts ticks whose shortfall exceeded 1% of the
+	// session's machines.
+	Events int
+}
+
+// Observe ingests one monitoring snapshot (per-zone loads at time
+// now), scores the allocation that was in force against it, and leases
+// toward the next interval's forecast. The zone count is fixed by the
+// first call.
+func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
+	if o.zones == nil {
+		o.zones = predict.NewZoneSet(o.cfg.Predictor, len(zoneLoads))
+	}
+	o.cfg.Matcher.Expire(now)
+
+	// Score the standing allocation against the actual load.
+	have := o.activeCPU(now)
+	demand := o.demandFor(zoneLoads)
+	load := demand[datacenter.CPU]
+	if load > 0 {
+		o.overSum += (have/load - 1) * 100
+		o.overTicks++
+	}
+	if short := load - have; short > 0 {
+		o.shortfallSum += short
+		machines := have
+		if machines < 1 {
+			machines = 1
+		}
+		if short/machines*100 > 1 {
+			o.events++
+		}
+	}
+	o.ticks++
+
+	// Forecast the next interval and lease the gap.
+	if err := o.zones.Observe(zoneLoads); err != nil {
+		return err
+	}
+	o.lastForecast = o.zones.PredictEach()
+	want := o.demandFor(o.lastForecast)
+	want = want.Scale(1 + o.cfg.SafetyMargin)
+	need := want.Sub(o.allocAt(now.Add(o.cfg.Tick))).ClampNonNegative()
+	if !need.IsZero() {
+		leases, _ := o.cfg.Matcher.Allocate(ecosystem.Request{
+			Tag:           o.cfg.Game.Name,
+			Origin:        o.cfg.Origin,
+			MaxDistanceKm: o.cfg.Game.LatencyKm,
+			Demand:        need,
+		}, now)
+		o.leases = append(o.leases, leases...)
+	}
+	return nil
+}
+
+// Forecast returns the latest per-zone forecast (nil before the first
+// Observe).
+func (o *Operator) Forecast() []float64 { return o.lastForecast }
+
+// Metrics returns the running summary.
+func (o *Operator) Metrics() Metrics {
+	m := Metrics{Ticks: o.ticks, Events: o.events}
+	if o.overTicks > 0 {
+		m.AvgOverPct = o.overSum / float64(o.overTicks)
+	}
+	if o.ticks > 0 {
+		m.AvgShortfall = o.shortfallSum / float64(o.ticks)
+	}
+	return m
+}
+
+// demandFor converts per-zone loads into the total resource demand.
+func (o *Operator) demandFor(zoneLoads []float64) datacenter.Vector {
+	d := o.cfg.Game.DemandForZones(zoneLoads)
+	var v datacenter.Vector
+	v[datacenter.CPU] = d.CPU
+	v[datacenter.Memory] = d.Memory
+	v[datacenter.ExtNetIn] = d.ExtNetIn
+	v[datacenter.ExtNetOut] = d.ExtNetOut
+	return v
+}
+
+// activeCPU sums the live leases' CPU at now, pruning dead ones.
+func (o *Operator) activeCPU(now time.Time) float64 {
+	var sum float64
+	live := o.leases[:0]
+	for _, l := range o.leases {
+		if l.Active(now) {
+			sum += l.Alloc[datacenter.CPU]
+			live = append(live, l)
+		}
+	}
+	o.leases = live
+	return sum
+}
+
+// allocAt sums leases still active at t, without pruning (the renewal
+// check of the acquire phase).
+func (o *Operator) allocAt(t time.Time) datacenter.Vector {
+	var sum datacenter.Vector
+	for _, l := range o.leases {
+		if l.Active(t) {
+			sum = sum.Add(l.Alloc)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,174 @@
+package operator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/ecosystem"
+	"mmogdc/internal/geo"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/predict"
+)
+
+var t0 = time.Date(2008, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func testMatcher(machines int) *ecosystem.Matcher {
+	var b datacenter.Vector
+	b[datacenter.CPU] = 0.05
+	p := datacenter.HostingPolicy{Name: "fine", Bulk: b, TimeBulk: time.Hour}
+	return ecosystem.NewMatcher([]*datacenter.Center{
+		datacenter.NewCenter("dc", geo.London, machines, p),
+	})
+}
+
+func testOperator(t *testing.T, machines int) *Operator {
+	t.Helper()
+	op, err := New(Config{
+		Game:      mmog.NewGame("op", mmog.GenreMMORPG),
+		Origin:    geo.London,
+		Predictor: predict.NewLastValue(),
+		Matcher:   testMatcher(machines),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func TestNewValidation(t *testing.T) {
+	base := Config{
+		Game:      mmog.NewGame("g", mmog.GenreRPG),
+		Predictor: predict.NewLastValue(),
+		Matcher:   testMatcher(1),
+	}
+	for _, strip := range []func(*Config){
+		func(c *Config) { c.Game = nil },
+		func(c *Config) { c.Predictor = nil },
+		func(c *Config) { c.Matcher = nil },
+	} {
+		c := base
+		strip(&c)
+		if _, err := New(c); err == nil {
+			t.Error("invalid config accepted")
+		}
+	}
+	op, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.cfg.Tick != 2*time.Minute {
+		t.Fatalf("default tick = %v", op.cfg.Tick)
+	}
+}
+
+func TestOperatorTracksSteadyLoad(t *testing.T) {
+	op := testOperator(t, 10)
+	now := t0
+	loads := []float64{800, 600, 400} // three zones
+	for i := 0; i < 50; i++ {
+		if err := op.Observe(now, loads); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	m := op.Metrics()
+	if m.Ticks != 50 {
+		t.Fatalf("ticks = %d", m.Ticks)
+	}
+	// After the first tick the allocation covers the constant load.
+	if m.AvgShortfall > 0.1 {
+		t.Fatalf("steady-load shortfall = %v", m.AvgShortfall)
+	}
+	if m.Events > 1 {
+		t.Fatalf("steady-load events = %d", m.Events)
+	}
+	if f := op.Forecast(); len(f) != 3 || math.Abs(f[0]-800) > 1e-9 {
+		t.Fatalf("forecast = %v", f)
+	}
+}
+
+func TestOperatorStarvedEcosystem(t *testing.T) {
+	op := testOperator(t, 0) // no machines at all
+	now := t0
+	for i := 0; i < 10; i++ {
+		if err := op.Observe(now, []float64{1500}); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	m := op.Metrics()
+	if m.AvgShortfall <= 0 {
+		t.Fatal("starved operator reported no shortfall")
+	}
+	if m.Events < 9 {
+		t.Fatalf("starved operator events = %d", m.Events)
+	}
+}
+
+func TestOperatorZoneCountFixedByFirstObserve(t *testing.T) {
+	op := testOperator(t, 5)
+	if err := op.Observe(t0, []float64{100, 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Observe(t0.Add(2*time.Minute), []float64{100}); err == nil {
+		t.Fatal("zone-count change should error")
+	}
+}
+
+func TestOperatorSafetyMarginRaisesAllocation(t *testing.T) {
+	run := func(margin float64) float64 {
+		op, err := New(Config{
+			Game:         mmog.NewGame("m", mmog.GenreMMORPG),
+			Origin:       geo.London,
+			Predictor:    predict.NewLastValue(),
+			Matcher:      testMatcher(10),
+			SafetyMargin: margin,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := t0
+		for i := 0; i < 30; i++ {
+			if err := op.Observe(now, []float64{1000}); err != nil {
+				t.Fatal(err)
+			}
+			now = now.Add(2 * time.Minute)
+		}
+		return op.Metrics().AvgOverPct
+	}
+	if with, without := run(0.2), run(0); with <= without {
+		t.Fatalf("margin over-allocation %v should exceed no-margin %v", with, without)
+	}
+}
+
+func TestOperatorLeasesRespectLatency(t *testing.T) {
+	var b datacenter.Vector
+	b[datacenter.CPU] = 0.05
+	p := datacenter.HostingPolicy{Name: "x", Bulk: b, TimeBulk: time.Hour}
+	sydney := datacenter.NewCenter("sydney", geo.Sydney, 10, p)
+	game := mmog.NewGame("fps", mmog.GenreFPS).ApplyGenreLatency()
+	op, err := New(Config{
+		Game:      game,
+		Origin:    geo.London,
+		Predictor: predict.NewLastValue(),
+		Matcher:   ecosystem.NewMatcher([]*datacenter.Center{sydney}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := t0
+	for i := 0; i < 5; i++ {
+		if err := op.Observe(now, []float64{1200}); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	if got := sydney.Allocated()[datacenter.CPU]; got != 0 {
+		t.Fatalf("latency-bound game leased %v CPU in Sydney", got)
+	}
+	if op.Metrics().AvgShortfall <= 0 {
+		t.Fatal("unservable game reported no shortfall")
+	}
+}

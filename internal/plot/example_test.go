@@ -1,0 +1,27 @@
+package plot_test
+
+import (
+	"fmt"
+	"strings"
+
+	"mmogdc/internal/plot"
+)
+
+// A minimal two-series chart, as the figure experiments render them.
+func ExampleChart_Render() {
+	c := plot.Chart{
+		Title:  "load",
+		Width:  24,
+		Height: 4,
+		Series: []plot.Series{
+			{Name: "static", Values: []float64{4, 4, 4, 4}},
+			{Name: "dynamic", Values: []float64{1, 2, 1, 2}},
+		},
+	}
+	out := c.Render()
+	fmt.Println(strings.Contains(out, "* static"))
+	fmt.Println(strings.Contains(out, "+ dynamic"))
+	// Output:
+	// true
+	// true
+}

@@ -1,0 +1,78 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// heatRamp maps intensity (0..1) onto density characters.
+var heatRamp = []byte(" .:-=+*#%@")
+
+// Heatmap renders a W x H grid of values as an ASCII density map with
+// a scale legend — used to visualize the emulator's entity
+// distribution and its interaction hot-spots.
+type Heatmap struct {
+	Title string
+	// Values is row-major, Rows x Cols.
+	Values []float64
+	Rows   int
+	Cols   int
+}
+
+// Render draws the heatmap. Invalid dimensions render an error note
+// instead of panicking.
+func (h *Heatmap) Render() string {
+	var b strings.Builder
+	if h.Title != "" {
+		b.WriteString(h.Title)
+		b.WriteByte('\n')
+	}
+	if h.Rows <= 0 || h.Cols <= 0 || len(h.Values) != h.Rows*h.Cols {
+		b.WriteString("(invalid heatmap dimensions)\n")
+		return b.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range h.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	span := hi - lo
+	for y := 0; y < h.Rows; y++ {
+		b.WriteString("  ")
+		for x := 0; x < h.Cols; x++ {
+			v := h.Values[y*h.Cols+x]
+			idx := 0
+			if span > 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+				idx = int((v - lo) / span * float64(len(heatRamp)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(heatRamp) {
+					idx = len(heatRamp) - 1
+				}
+			} else if span == 0 && v == hi && hi != 0 {
+				idx = len(heatRamp) - 1
+			}
+			// Double the glyph so cells are roughly square in a
+			// terminal.
+			b.WriteByte(heatRamp[idx])
+			b.WriteByte(heatRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  scale: '%c' = %.4g .. '%c' = %.4g\n",
+		heatRamp[0], lo, heatRamp[len(heatRamp)-1], hi)
+	return b.String()
+}

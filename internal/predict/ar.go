@@ -1,0 +1,190 @@
+package predict
+
+import (
+	"math"
+)
+
+// AR is an autoregressive predictor of order p, the class of "more
+// elaborated prediction algorithms" Section IV-A discusses: it fits
+// an AR(p) model to the observed history and predicts the next sample
+// from the last p values. The paper argues such methods are "more time
+// consuming and resource intensive, thus being ill suited for MMOGs";
+// this implementation exists to quantify that trade-off — the
+// coefficients are re-estimated from the sample autocovariances
+// (Yule–Walker equations, solved by Levinson–Durbin recursion) every
+// RefitInterval observations, which is exactly the recurring cost the
+// paper objects to.
+type AR struct {
+	order         int
+	refitInterval int
+	history       []float64
+	maxHistory    int
+	coeffs        []float64
+	mean          float64
+	sinceRefit    int
+	fitted        bool
+}
+
+// NewAR returns an AR(p) predictor factory that refits every
+// refitInterval observations over a bounded history window.
+func NewAR(order, refitInterval, maxHistory int) Factory {
+	if order < 1 {
+		order = 1
+	}
+	if refitInterval < 1 {
+		refitInterval = 1
+	}
+	if maxHistory < 4*order {
+		maxHistory = 4 * order
+	}
+	return func() Predictor {
+		return &AR{
+			order:         order,
+			refitInterval: refitInterval,
+			maxHistory:    maxHistory,
+		}
+	}
+}
+
+// Name implements Predictor.
+func (p *AR) Name() string { return "AR" }
+
+// Observe implements Predictor.
+func (p *AR) Observe(v float64) {
+	p.history = append(p.history, v)
+	if len(p.history) > p.maxHistory {
+		// Drop the oldest half to amortize the copy.
+		keep := p.maxHistory / 2
+		copy(p.history, p.history[len(p.history)-keep:])
+		p.history = p.history[:keep]
+	}
+	p.sinceRefit++
+	if p.sinceRefit >= p.refitInterval && len(p.history) >= 3*p.order {
+		p.refit()
+		p.sinceRefit = 0
+	}
+}
+
+// Predict implements Predictor.
+func (p *AR) Predict() float64 {
+	n := len(p.history)
+	if n == 0 {
+		return 0
+	}
+	if !p.fitted || n < p.order {
+		return p.history[n-1]
+	}
+	pred := p.mean
+	for i := 0; i < p.order; i++ {
+		pred += p.coeffs[i] * (p.history[n-1-i] - p.mean)
+	}
+	if pred < 0 {
+		pred = 0
+	}
+	return pred
+}
+
+// refit re-estimates the AR coefficients with Yule–Walker /
+// Levinson–Durbin over the current history window.
+func (p *AR) refit() {
+	n := len(p.history)
+	var sum float64
+	for _, v := range p.history {
+		sum += v
+	}
+	mean := sum / float64(n)
+
+	// Sample autocovariances r[0..order].
+	r := make([]float64, p.order+1)
+	for lag := 0; lag <= p.order; lag++ {
+		var acc float64
+		for i := 0; i+lag < n; i++ {
+			acc += (p.history[i] - mean) * (p.history[i+lag] - mean)
+		}
+		r[lag] = acc / float64(n)
+	}
+	if r[0] <= 1e-12 {
+		// Constant signal: predict the mean.
+		p.coeffs = make([]float64, p.order)
+		p.mean = mean
+		p.fitted = true
+		return
+	}
+
+	// Levinson–Durbin recursion.
+	a := make([]float64, p.order+1)
+	prev := make([]float64, p.order+1)
+	e := r[0]
+	for k := 1; k <= p.order; k++ {
+		acc := r[k]
+		for j := 1; j < k; j++ {
+			acc -= a[j] * r[k-j]
+		}
+		if e <= 1e-12 {
+			break
+		}
+		kappa := acc / e
+		copy(prev, a)
+		a[k] = kappa
+		for j := 1; j < k; j++ {
+			a[j] = prev[j] - kappa*prev[k-j]
+		}
+		e *= 1 - kappa*kappa
+	}
+	p.coeffs = make([]float64, p.order)
+	for i := 1; i <= p.order; i++ {
+		c := a[i]
+		// Guard against numerically unstable fits.
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			c = 0
+		}
+		p.coeffs[i-1] = c
+	}
+	p.mean = mean
+	p.fitted = true
+}
+
+// SeasonalNaive predicts the value observed one season (e.g. one day =
+// 720 two-minute samples) ago, falling back to the last value until a
+// full season has been seen. It is the natural "explanatory"
+// alternative for strongly diurnal MMOG load (Section IV-A's
+// explanatory models, reduced to their seasonal essence) — accurate
+// once a full cycle is recorded, but blind to trend breaks such as the
+// Fig. 2 population events.
+type SeasonalNaive struct {
+	period int
+	buf    []float64
+	n      int
+}
+
+// NewSeasonalNaive returns a seasonal-naive factory with the given
+// period in samples.
+func NewSeasonalNaive(period int) Factory {
+	if period < 1 {
+		period = 1
+	}
+	return func() Predictor {
+		return &SeasonalNaive{period: period, buf: make([]float64, period)}
+	}
+}
+
+// Name implements Predictor.
+func (p *SeasonalNaive) Name() string { return "Seasonal naive" }
+
+// Observe implements Predictor.
+func (p *SeasonalNaive) Observe(v float64) {
+	p.buf[p.n%p.period] = v
+	p.n++
+}
+
+// Predict implements Predictor.
+func (p *SeasonalNaive) Predict() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < p.period {
+		return p.buf[(p.n-1)%p.period]
+	}
+	// The next step's seasonal slot is p.n % period (one season ago).
+	return p.buf[p.n%p.period]
+}

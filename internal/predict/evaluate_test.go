@@ -1,0 +1,174 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateLastValueKnown(t *testing.T) {
+	// Signal 10, 20, 30: last-value predicts 10 then 20; errors are
+	// 10 + 10 = 20 over a volume of 60 -> 33.33%.
+	got := Evaluate(NewLastValue(), []float64{10, 20, 30})
+	if math.Abs(got-100.0/3) > 1e-9 {
+		t.Fatalf("error = %v, want 33.33", got)
+	}
+}
+
+func TestEvaluateZeroVolume(t *testing.T) {
+	if got := Evaluate(NewLastValue(), []float64{0, 0, 0}); got != 0 {
+		t.Fatalf("zero-volume error = %v", got)
+	}
+	if got := Evaluate(NewLastValue(), nil); got != 0 {
+		t.Fatalf("empty-signal error = %v", got)
+	}
+}
+
+func TestEvaluateZonesMatchesSingleZone(t *testing.T) {
+	sig := []float64{5, 8, 2, 9, 4, 7}
+	single := Evaluate(NewMovingAverage(3), sig)
+	multi := EvaluateZones(NewMovingAverage(3), [][]float64{sig})
+	if math.Abs(single-multi) > 1e-9 {
+		t.Fatalf("single %v != zones %v", single, multi)
+	}
+	if EvaluateZones(NewLastValue(), nil) != 0 {
+		t.Fatal("no zones should give 0")
+	}
+}
+
+func TestEvaluateZonesAggregates(t *testing.T) {
+	// Two zones: one constant (perfectly predicted), one alternating.
+	constant := []float64{10, 10, 10, 10}
+	jumpy := []float64{0, 10, 0, 10}
+	err2 := EvaluateZones(NewLastValue(), [][]float64{constant, jumpy})
+	// Last value on jumpy: errors 10, 10, 10 = 30. Volume = 40 + 20.
+	want := 30.0 / 60 * 100
+	if math.Abs(err2-want) > 1e-9 {
+		t.Fatalf("aggregate error = %v, want %v", err2, want)
+	}
+}
+
+func TestReplayPredictionsShape(t *testing.T) {
+	sig := []float64{1, 2, 3, 4}
+	preds := ReplayPredictions(NewLastValue(), sig)
+	if len(preds) != len(sig) {
+		t.Fatalf("len = %d", len(preds))
+	}
+	if preds[0] != 0 {
+		t.Fatalf("prior prediction = %v", preds[0])
+	}
+	for i := 1; i < len(sig); i++ {
+		if preds[i] != sig[i-1] {
+			t.Fatalf("preds[%d] = %v, want %v", i, preds[i], sig[i-1])
+		}
+	}
+}
+
+func TestTimePredictions(t *testing.T) {
+	sig := make([]float64, 300)
+	for i := range sig {
+		sig[i] = float64(i % 17)
+	}
+	s, err := TimePredictions(NewSlidingWindowMedian(6), sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min < 0 || s.Median <= 0 || s.Max < s.Median {
+		t.Fatalf("timing summary implausible: %+v", s)
+	}
+}
+
+func TestZoneSet(t *testing.T) {
+	z := NewZoneSet(NewLastValue(), 3)
+	if z.Len() != 3 {
+		t.Fatalf("Len = %d", z.Len())
+	}
+	if err := z.Observe([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	each := z.PredictEach()
+	if each[0] != 1 || each[1] != 2 || each[2] != 3 {
+		t.Fatalf("PredictEach = %v", each)
+	}
+	if z.PredictTotal() != 6 {
+		t.Fatalf("PredictTotal = %v", z.PredictTotal())
+	}
+	if err := z.Observe([]float64{1}); err == nil {
+		t.Fatal("wrong zone count should error")
+	}
+}
+
+func TestEvaluateSmootherBeatsLastValueOnNoise(t *testing.T) {
+	// For pure i.i.d. noise around a level, averaging beats last-value.
+	sig := make([]float64, 500)
+	state := uint64(12345)
+	for i := range sig {
+		state = state*6364136223846793005 + 1442695040888963407
+		sig[i] = 100 + float64(state%21) - 10
+	}
+	lv := Evaluate(NewLastValue(), sig)
+	avg := Evaluate(NewAverage(), sig)
+	if avg >= lv {
+		t.Fatalf("average %v should beat last value %v on stationary noise", avg, lv)
+	}
+}
+
+func TestEvaluateHorizonOneMatchesEvaluateRegion(t *testing.T) {
+	// At h=1 the horizon evaluator scores the same forecasts as
+	// Evaluate, just normalized over the scored region.
+	sig := []float64{10, 20, 30, 25, 35, 40}
+	h1 := EvaluateHorizon(NewLastValue(), sig, 1)
+	// Hand-computed: predictions 10,20,30,25,35 vs 20,30,25,35,40.
+	// errors 10+10+5+10+5 = 40 over volume 150.
+	want := 40.0 / 150 * 100
+	if math.Abs(h1-want) > 1e-9 {
+		t.Fatalf("h=1 error = %v, want %v", h1, want)
+	}
+}
+
+func TestEvaluateHorizonGrowsWithH(t *testing.T) {
+	// On a random-walk-ish signal, farther horizons are harder.
+	state := uint64(3)
+	sig := make([]float64, 400)
+	x := 100.0
+	for i := range sig {
+		state = state*6364136223846793005 + 1442695040888963407
+		x += float64(state%21) - 10
+		if x < 1 {
+			x = 1
+		}
+		sig[i] = x
+	}
+	e1 := EvaluateHorizon(NewLastValue(), sig, 1)
+	e5 := EvaluateHorizon(NewLastValue(), sig, 5)
+	if e5 <= e1 {
+		t.Fatalf("h=5 error %v should exceed h=1 error %v", e5, e1)
+	}
+}
+
+func TestEvaluateHorizonEdgeCases(t *testing.T) {
+	if EvaluateHorizon(NewLastValue(), []float64{1, 2}, 5) != 0 {
+		t.Fatal("signal shorter than horizon should score 0")
+	}
+	if EvaluateHorizon(NewLastValue(), nil, 0) != 0 {
+		t.Fatal("empty signal should score 0")
+	}
+	// h<1 clamps to 1.
+	sig := []float64{10, 20, 30}
+	if EvaluateHorizon(NewLastValue(), sig, 0) != EvaluateHorizon(NewLastValue(), sig, 1) {
+		t.Fatal("h=0 should behave like h=1")
+	}
+}
+
+func TestEvaluateHorizonHoltBeatsLastValueOnRamp(t *testing.T) {
+	// Multi-step forecasts magnify the trend advantage: Holt
+	// extrapolates the slope h steps out, last-value cannot.
+	sig := make([]float64, 300)
+	for i := range sig {
+		sig[i] = 100 + 3*float64(i)
+	}
+	holt := EvaluateHorizon(NewHolt(0.5, 0.3), sig, 5)
+	lv := EvaluateHorizon(NewLastValue(), sig, 5)
+	if holt >= lv/2 {
+		t.Fatalf("Holt h=5 error %v should be far below last value %v", holt, lv)
+	}
+}

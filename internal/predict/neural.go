@@ -1,0 +1,219 @@
+package predict
+
+import (
+	"mmogdc/internal/neural"
+	"mmogdc/internal/xrand"
+)
+
+// NeuralConfig parameterizes the neural predictor.
+type NeuralConfig struct {
+	// Seed initializes the network weights deterministically.
+	Seed uint64
+	// Window is the number of past samples fed to the network; the
+	// paper's structure is (6, 3, 1).
+	Window int
+	// Hidden is the hidden-layer width.
+	Hidden int
+	// Capacity normalizes inputs into the network's working range;
+	// use the signal's plausible maximum (e.g. zone capacity).
+	Capacity float64
+	// LearningRate and Momentum drive the online weight updates.
+	LearningRate float64
+	Momentum     float64
+	// Degree of the polynomial de-noising preprocessor; negative
+	// disables preprocessing.
+	Degree int
+	// WarmupSteps delays online training until this many samples have
+	// been observed (the window must fill first regardless).
+	WarmupSteps int
+	// OutputScale multiplies training targets (and divides network
+	// outputs) so the regression target has a healthy magnitude even
+	// when the normalized signal moves by tiny deltas. PretrainShared
+	// auto-calibrates it from the collected data when zero; otherwise
+	// it defaults to 1.
+	OutputScale float64
+	// OnlineLearningRate is the learning rate used for the per-sample
+	// updates during deployment; it defaults to LearningRate. Use a
+	// smaller value to keep a converged pretrained network from being
+	// perturbed by noisy single-sample updates.
+	OnlineLearningRate float64
+	// ErrorClip bounds the error driving each weight update
+	// (Huber-style); zero disables clipping.
+	ErrorClip float64
+	// Direct makes the network output the next load level directly.
+	// The default (false) is residual mode: the network predicts the
+	// load *change* over the next interval, added to the last observed
+	// value. Residual mode cannot be worse than the last-value
+	// predictor when the network outputs zero and learns trends and
+	// mean-reversion as corrections; the ablation benchmark compares
+	// the two modes.
+	Direct bool
+}
+
+func (c NeuralConfig) withDefaults() NeuralConfig {
+	if c.Window == 0 {
+		c.Window = 6
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 3
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 2000
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.5
+	}
+	if c.WarmupSteps == 0 {
+		c.WarmupSteps = c.Window + 1
+	}
+	if c.OutputScale == 0 {
+		c.OutputScale = 1
+	}
+	if c.OnlineLearningRate == 0 {
+		c.OnlineLearningRate = c.LearningRate
+	}
+	return c
+}
+
+// Neural is the paper's neural-network-based predictor: a (6,3,1)
+// multi-layer perceptron over a sliding window of the last six
+// samples, de-noised by a polynomial preprocessor and normalized by
+// the signal capacity. Deployment is online: every new observation
+// also provides a training example (previous window -> actual value),
+// so the network keeps adapting to the signal — the online analogue of
+// the paper's offline data-collection and training-era phases, which
+// Pretrain reproduces verbatim.
+type Neural struct {
+	cfg    NeuralConfig
+	net    *neural.MLP
+	pre    neural.Preprocessor
+	norm   neural.Normalizer
+	window []float64 // normalized history, newest last
+	seen   int
+	// prevIn holds the input window that produced the previous
+	// prediction, i.e. the training input once the actual arrives;
+	// prevLast is the normalized last value of that window (the
+	// baseline the residual is added to).
+	prevIn   []float64
+	prevLast float64
+	havePre  bool
+}
+
+// NewNeural returns a neural predictor factory.
+func NewNeural(cfg NeuralConfig) Factory {
+	return func() Predictor {
+		return MustNeural(cfg)
+	}
+}
+
+// MustNeural builds a neural predictor, panicking on invalid
+// configuration (the configs in this repository are static).
+func MustNeural(cfg NeuralConfig) *Neural {
+	c := cfg.withDefaults()
+	r := xrand.New(c.Seed)
+	net, err := neural.NewMLP(r, c.Window, c.Hidden, 1)
+	if err != nil {
+		panic(err)
+	}
+	norm, err := neural.NewNormalizer(c.Capacity)
+	if err != nil {
+		panic(err)
+	}
+	var pre neural.Preprocessor = neural.Identity{}
+	if c.Degree >= 0 {
+		pre = neural.PolySmoother{Degree: c.Degree}
+	}
+	return &Neural{
+		cfg:    c,
+		net:    net,
+		pre:    pre,
+		norm:   norm,
+		window: make([]float64, 0, c.Window),
+		prevIn: make([]float64, c.Window),
+	}
+}
+
+// Name implements Predictor.
+func (p *Neural) Name() string { return "Neural" }
+
+// Observe implements Predictor.
+func (p *Neural) Observe(v float64) {
+	nv := p.norm.Norm(v)
+	// Online training: the window that preceded this observation
+	// should have predicted it.
+	if p.havePre && p.seen >= p.cfg.WarmupSteps {
+		target := nv
+		if !p.cfg.Direct {
+			target = nv - p.prevLast
+		}
+		target *= p.cfg.OutputScale
+		p.net.TrainClipped(p.prevIn, []float64{target}, p.cfg.OnlineLearningRate, p.cfg.Momentum, p.cfg.ErrorClip)
+	}
+	if len(p.window) == p.cfg.Window {
+		copy(p.window, p.window[1:])
+		p.window[len(p.window)-1] = nv
+	} else {
+		p.window = append(p.window, nv)
+	}
+	p.seen++
+	if len(p.window) == p.cfg.Window {
+		in := p.pre.Process(p.window)
+		copy(p.prevIn, in)
+		p.prevLast = p.window[len(p.window)-1]
+		p.havePre = true
+	}
+}
+
+// Predict implements Predictor.
+func (p *Neural) Predict() float64 {
+	if p.seen == 0 {
+		return 0
+	}
+	if !p.havePre {
+		// Window not yet full: fall back to the last value.
+		return p.norm.Denorm(p.window[len(p.window)-1])
+	}
+	out := p.net.Forward(p.prevIn)[0] / p.cfg.OutputScale
+	if !p.cfg.Direct {
+		out += p.prevLast
+	}
+	return p.norm.Denorm(out)
+}
+
+// Pretrain reproduces the paper's two offline phases on a collected
+// signal: it builds (window -> next sample) examples from the signal,
+// splits them into training and test sets, and runs era-based training
+// until convergence. It returns the training report.
+func (p *Neural) Pretrain(signal []float64, trainFraction float64, cfg neural.TrainConfig) neural.TrainResult {
+	if trainFraction <= 0 || trainFraction > 1 {
+		trainFraction = 0.8
+	}
+	w := p.cfg.Window
+	var samples []neural.Sample
+	for i := 0; i+w < len(signal); i++ {
+		in := make([]float64, w)
+		for j := 0; j < w; j++ {
+			in[j] = p.norm.Norm(signal[i+j])
+		}
+		in = p.pre.Process(in)
+		target := p.norm.Norm(signal[i+w])
+		if !p.cfg.Direct {
+			target -= p.norm.Norm(signal[i+w-1])
+		}
+		samples = append(samples, neural.Sample{
+			In:     in,
+			Target: []float64{target * p.cfg.OutputScale},
+		})
+	}
+	if len(samples) == 0 {
+		return neural.TrainResult{}
+	}
+	split := int(float64(len(samples)) * trainFraction)
+	if split < 1 {
+		split = 1
+	}
+	return p.net.Fit(samples[:split], samples[split:], cfg)
+}

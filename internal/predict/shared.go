@@ -1,0 +1,95 @@
+package predict
+
+import (
+	"math"
+
+	"mmogdc/internal/neural"
+)
+
+// PretrainShared reproduces the paper's two offline phases for the
+// per-sub-zone deployment (Section IV-C): the data-set collection
+// phase gathers entity-count samples "for all sub-zones at equidistant
+// time steps", and the training phase uses most of those samples as
+// training sets and the rest as test sets, running training eras until
+// the convergence criterion fires. One network is trained on the
+// pooled samples of every sub-zone; the returned Factory hands each
+// sub-zone a clone of the trained network that keeps adapting online.
+//
+// collected[z] is the collected signal of sub-zone z. The returned
+// TrainResult reports the offline training outcome.
+func PretrainShared(cfg NeuralConfig, collected [][]float64, trainFraction float64, tc neural.TrainConfig) (Factory, neural.TrainResult) {
+	if cfg.Capacity == 0 {
+		// Auto-calibrate the normalization to the collected signals so
+		// the network operates in a well-scaled range.
+		maxV := 1.0
+		for _, signal := range collected {
+			for _, v := range signal {
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+		cfg.Capacity = maxV * 1.25
+	}
+	if cfg.OutputScale == 0 && !cfg.Direct {
+		// Auto-calibrate the target scale so the normalized deltas the
+		// network regresses on have a healthy RMS (~0.5); without this
+		// the gradients on small sub-zone signals are vanishingly weak.
+		var ss float64
+		var n int
+		for _, signal := range collected {
+			for i := 1; i < len(signal); i++ {
+				d := (signal[i] - signal[i-1]) / cfg.Capacity
+				ss += d * d
+				n++
+			}
+		}
+		if n > 0 && ss > 0 {
+			rms := math.Sqrt(ss / float64(n))
+			cfg.OutputScale = 0.5 / rms
+			if cfg.OutputScale > 200 {
+				cfg.OutputScale = 200
+			}
+			if cfg.OutputScale < 1 {
+				cfg.OutputScale = 1
+			}
+		}
+	}
+	proto := MustNeural(cfg)
+	var samples []neural.Sample
+	w := proto.cfg.Window
+	for _, signal := range collected {
+		for i := 0; i+w < len(signal); i++ {
+			in := make([]float64, w)
+			for j := 0; j < w; j++ {
+				in[j] = proto.norm.Norm(signal[i+j])
+			}
+			in = proto.pre.Process(in)
+			target := proto.norm.Norm(signal[i+w])
+			if !cfg.Direct {
+				target -= proto.norm.Norm(signal[i+w-1])
+			}
+			samples = append(samples, neural.Sample{
+				In:     in,
+				Target: []float64{target * proto.cfg.OutputScale},
+			})
+		}
+	}
+	var res neural.TrainResult
+	if len(samples) > 0 {
+		if trainFraction <= 0 || trainFraction > 1 {
+			trainFraction = 0.8
+		}
+		split := int(float64(len(samples)) * trainFraction)
+		if split < 1 {
+			split = 1
+		}
+		res = proto.net.Fit(samples[:split], samples[split:], tc)
+	}
+	factory := func() Predictor {
+		p := MustNeural(cfg)
+		p.net = proto.net.Clone()
+		return p
+	}
+	return factory, res
+}

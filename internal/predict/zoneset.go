@@ -1,0 +1,55 @@
+package predict
+
+import "fmt"
+
+// ZoneSet runs one predictor per sub-zone and aggregates their
+// outputs, implementing the paper's per-sub-zone prediction structure
+// (Section IV-B): "the predictor uses as input the entity count for
+// each sub-zone ... the predicted entity count for the entire game
+// world is the sum of all the sub-zone predictions".
+type ZoneSet struct {
+	ps []Predictor
+}
+
+// NewZoneSet builds n independent predictors from the factory.
+func NewZoneSet(f Factory, n int) *ZoneSet {
+	z := &ZoneSet{ps: make([]Predictor, n)}
+	for i := range z.ps {
+		z.ps[i] = f()
+	}
+	return z
+}
+
+// Len returns the number of zones.
+func (z *ZoneSet) Len() int { return len(z.ps) }
+
+// Observe feeds the current per-zone values; len(values) must equal
+// the zone count.
+func (z *ZoneSet) Observe(values []float64) error {
+	if len(values) != len(z.ps) {
+		return fmt.Errorf("predict: observed %d zones, want %d", len(values), len(z.ps))
+	}
+	for i, v := range values {
+		z.ps[i].Observe(v)
+	}
+	return nil
+}
+
+// PredictEach returns the per-zone next-step forecasts.
+func (z *ZoneSet) PredictEach() []float64 {
+	out := make([]float64, len(z.ps))
+	for i, p := range z.ps {
+		out[i] = p.Predict()
+	}
+	return out
+}
+
+// PredictTotal returns the whole-world forecast: the sum of all
+// sub-zone predictions.
+func (z *ZoneSet) PredictTotal() float64 {
+	var sum float64
+	for _, p := range z.ps {
+		sum += p.Predict()
+	}
+	return sum
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0},
+		{1, 0.25},
+		{1.5, 0.25},
+		{2, 0.75},
+		{3, 1},
+		{99, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 || c.Percentile(0.5) != 0 || c.Points(10) != nil {
+		t.Fatal("empty CDF should return zeros and nil points")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	err := quick.Check(func(raw []float64, probe1, probe2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		a, b := probe1, probe2
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) <= c.At(b)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	c := NewCDF(xs)
+	xs[0] = 100
+	if got := c.At(3); got != 1 {
+		t.Fatalf("CDF changed after input mutation: At(3) = %v", got)
+	}
+}
+
+func TestCDFPercentile(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	c := NewCDF(xs)
+	if got := c.Percentile(0.5); got != 50 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := c.Percentile(0); got != 0 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := c.Percentile(1); got != 100 {
+		t.Fatalf("P100 = %v", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("len(points) = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[10].X != 10 {
+		t.Fatalf("endpoints wrong: %v ... %v", pts[0], pts[10])
+	}
+	if pts[10].P != 1 {
+		t.Fatalf("last P = %v, want 1", pts[10].P)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P {
+			t.Fatalf("points not monotone at %d", i)
+		}
+	}
+}
+
+func TestCDFPointsDegenerate(t *testing.T) {
+	c := NewCDF([]float64{7, 7, 7})
+	pts := c.Points(5)
+	if len(pts) != 1 || pts[0].X != 7 || pts[0].P != 1 {
+		t.Fatalf("degenerate points = %v", pts)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	out := c.RenderASCII("test", 5, 5)
+	if !strings.Contains(out, "test (n=5)") {
+		t.Fatalf("missing label: %q", out)
+	}
+	if !strings.Contains(out, "100.0%") {
+		t.Fatalf("missing terminal 100%%: %q", out)
+	}
+	if got := NewCDF(nil).RenderASCII("empty", 1, 3); !strings.Contains(got, "empty (n=0)") {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	edges, counts := Histogram(xs, 5)
+	if len(edges) != 6 || len(counts) != 5 {
+		t.Fatalf("edges=%d counts=%d", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram lost samples: %d != %d", total, len(xs))
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	edges, counts := Histogram([]float64{4, 4, 4}, 3)
+	if len(counts) != 1 || counts[0] != 3 {
+		t.Fatalf("degenerate histogram = %v %v", edges, counts)
+	}
+	if e, c := Histogram(nil, 4); e != nil || c != nil {
+		t.Fatal("empty histogram should be nil")
+	}
+}
+
+func TestCDFAgreesWithDirectCount(t *testing.T) {
+	err := quick.Check(func(raw []float64, probe float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 || math.IsNaN(probe) {
+			return true
+		}
+		c := NewCDF(xs)
+		count := 0
+		for _, v := range xs {
+			if v <= probe {
+				count++
+			}
+		}
+		want := float64(count) / float64(len(xs))
+		return math.Abs(c.At(probe)-want) < 1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPercentileSorted(t *testing.T) {
+	xs := []float64{9, 3, 7, 1, 5}
+	c := NewCDF(xs)
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		v := c.Percentile(q)
+		if v < prev {
+			t.Fatalf("Percentile not monotone at q=%v", q)
+		}
+		prev = v
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if c.Percentile(0) != sorted[0] || c.Percentile(1) != sorted[len(sorted)-1] {
+		t.Fatal("percentile endpoints disagree with sorted sample")
+	}
+}

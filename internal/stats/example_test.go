@@ -1,0 +1,34 @@
+package stats_test
+
+import (
+	"fmt"
+	"math"
+
+	"mmogdc/internal/stats"
+)
+
+// Detecting a diurnal cycle the way the Fig. 3 analysis does: the
+// autocorrelation of a periodic load peaks at the full period and
+// troughs at the half period.
+func ExampleACF() {
+	const period = 24
+	load := make([]float64, period*10)
+	for i := range load {
+		load[i] = 1000 + 400*math.Sin(2*math.Pi*float64(i)/period)
+	}
+	acf := stats.ACF(load, period)
+	fmt.Printf("lag 0: %.2f\n", acf[0])
+	fmt.Printf("half period: %.2f\n", acf[period/2])
+	fmt.Printf("full period: %.2f\n", acf[period])
+	// Output:
+	// lag 0: 1.00
+	// half period: -0.95
+	// full period: 0.90
+}
+
+// The five-number summary behind the Fig. 6 box plots.
+func ExampleSummary() {
+	s, _ := stats.Summary([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	fmt.Printf("min %.0f, median %.1f, max %.0f\n", s.Min, s.Median, s.Max)
+	// Output: min 1, median 3.5, max 9
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"mmogdc/internal/series"
+)
+
+// WriteCSV serializes the dataset in a wide CSV layout: one row per
+// sample, one column per server group, with a header row of group
+// names and a leading timestamp column (RFC 3339). The layout matches
+// what cmd/tracegen emits and what ReadCSV parses back.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(d.Groups)+1)
+	header = append(header, "time")
+	for _, g := range d.Groups {
+		header = append(header, g.Name())
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	n := d.Samples()
+	row := make([]string, len(d.Groups)+1)
+	for i := 0; i < n; i++ {
+		var ts time.Time
+		if len(d.Groups) > 0 {
+			ts = d.Groups[0].Load.TimeAt(i)
+		}
+		row[0] = ts.Format(time.RFC3339)
+		for gi, g := range d.Groups {
+			row[gi+1] = strconv.FormatFloat(g.Load.At(i), 'f', 1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV. Group names
+// must follow the "r<region>g<index>" convention; region metadata is
+// reconstructed with default locations when the region ID is known,
+// and synthesized otherwise.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(records) < 1 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "time" {
+		return nil, fmt.Errorf("trace: bad header %v", header)
+	}
+
+	var start time.Time
+	if len(records) > 1 {
+		start, err = time.Parse(time.RFC3339, records[1][0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad timestamp %q: %w", records[1][0], err)
+		}
+	}
+
+	ds := &Dataset{Config: Config{Start: start}}
+	regionSeen := map[int]bool{}
+	defaults := DefaultRegions()
+	for _, name := range header[1:] {
+		var regionID, index int
+		if _, err := fmt.Sscanf(name, "r%dg%d", &regionID, &index); err != nil {
+			return nil, fmt.Errorf("trace: bad group name %q: %w", name, err)
+		}
+		g := &Group{
+			RegionID: regionID,
+			Index:    index,
+			Load:     series.New(series.DefaultTick, start),
+		}
+		ds.Groups = append(ds.Groups, g)
+		if !regionSeen[regionID] {
+			regionSeen[regionID] = true
+			if regionID >= 0 && regionID < len(defaults) {
+				ds.Regions = append(ds.Regions, defaults[regionID])
+			} else {
+				ds.Regions = append(ds.Regions, Region{ID: regionID, Name: fmt.Sprintf("region %d", regionID)})
+			}
+		}
+	}
+
+	for ri, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want %d", ri+1, len(rec), len(header))
+		}
+		for gi, g := range ds.Groups {
+			v, err := strconv.ParseFloat(rec[gi+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d group %s: %w", ri+1, g.Name(), err)
+			}
+			g.Load.Append(v)
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := Generate(Config{Seed: 5, Days: 1, Regions: []Region{
+		{ID: 0, Name: "a", Groups: 2},
+		{ID: 1, Name: "b", Groups: 1},
+	}})
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Groups) != len(ds.Groups) {
+		t.Fatalf("group count %d != %d", len(back.Groups), len(ds.Groups))
+	}
+	for i, g := range ds.Groups {
+		bg := back.Groups[i]
+		if bg.Name() != g.Name() {
+			t.Fatalf("group %d name %q != %q", i, bg.Name(), g.Name())
+		}
+		if bg.Load.Len() != g.Load.Len() {
+			t.Fatalf("group %d length %d != %d", i, bg.Load.Len(), g.Load.Len())
+		}
+		for j := range g.Load.Values {
+			// Values are serialized with one decimal.
+			diff := bg.Load.At(j) - g.Load.At(j)
+			if diff > 0.06 || diff < -0.06 {
+				t.Fatalf("group %d sample %d: %v != %v", i, j, bg.Load.At(j), g.Load.At(j))
+			}
+		}
+	}
+	if !back.Config.Start.Equal(ds.Config.Start) {
+		t.Fatalf("start time %v != %v", back.Config.Start, ds.Config.Start)
+	}
+	if len(back.Regions) != 2 {
+		t.Fatalf("regions reconstructed = %d, want 2", len(back.Regions))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad header", "foo,bar\n"},
+		{"bad group name", "time,whatever\n2007-08-18T00:00:00Z,5\n"},
+		{"bad timestamp", "time,r0g0\nnot-a-time,5\n"},
+		{"bad value", "time,r0g0\n2007-08-18T00:00:00Z,xyz\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.input)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadCSVRaggedRow(t *testing.T) {
+	in := "time,r0g0,r0g1\n2007-08-18T00:00:00Z,1\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("ragged row should error")
+	}
+}
+
+func TestWriteCSVHeaderOnlyForEmptySamples(t *testing.T) {
+	ds := &Dataset{Groups: nil}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "time" {
+		t.Fatalf("empty dataset CSV = %q", got)
+	}
+}
+
+func TestReadCSVUnknownRegionSynthesized(t *testing.T) {
+	in := "time,r7g0\n2007-08-18T00:00:00Z,5\n"
+	ds, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Regions) != 1 || ds.Regions[0].ID != 7 {
+		t.Fatalf("regions = %+v", ds.Regions)
+	}
+}

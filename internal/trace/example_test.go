@@ -1,0 +1,39 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"mmogdc/internal/trace"
+)
+
+// Generating a synthetic RuneScape-like trace: five regions of server
+// groups, sampled every two minutes, fully determined by the seed.
+func ExampleGenerate() {
+	ds := trace.Generate(trace.Config{Seed: 42, Days: 1})
+	global, _ := ds.GlobalLoad()
+	fmt.Printf("%d server groups over %d regions, %d samples\n",
+		len(ds.Groups), len(ds.Regions), ds.Samples())
+	fmt.Printf("first group is %s, global population at t0 is positive: %v\n",
+		ds.Groups[0].Name(), global.At(0) > 0)
+	// Output:
+	// 125 server groups over 5 regions, 720 samples
+	// first group is r0g0, global population at t0 is positive: true
+}
+
+// Population events reshape the whole game's player base (Fig. 2).
+func ExampleEvent_Multiplier() {
+	crash := trace.Event{
+		Kind:          trace.UnpopularDecision,
+		Day:           10,
+		Magnitude:     0.25,
+		RecoveryDays:  3,
+		ResidualLevel: 0.95,
+	}
+	fmt.Printf("before: %.2f\n", crash.Multiplier(9))
+	fmt.Printf("bottom: %.2f\n", crash.Multiplier(11))
+	fmt.Printf("long run: %.2f\n", crash.Multiplier(40))
+	// Output:
+	// before: 1.00
+	// bottom: 0.75
+	// long run: 0.95
+}

@@ -1,0 +1,330 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"mmogdc/internal/stats"
+)
+
+// smallConfig keeps per-test generation cheap: one region, few groups.
+func smallConfig(seed uint64) Config {
+	return Config{
+		Seed: seed,
+		Days: 4,
+		Regions: []Region{
+			{ID: 0, Name: "Europe", Groups: 8},
+		},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig(42))
+	b := Generate(smallConfig(42))
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatal("group counts differ")
+	}
+	for i := range a.Groups {
+		av, bv := a.Groups[i].Load.Values, b.Groups[i].Load.Values
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("group %d sample %d differs: %v != %v", i, j, av[j], bv[j])
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(smallConfig(1))
+	b := Generate(smallConfig(2))
+	same := 0
+	for j, v := range a.Groups[0].Load.Values {
+		if v == b.Groups[0].Load.Values[j] {
+			same++
+		}
+	}
+	if same > len(a.Groups[0].Load.Values)/10 {
+		t.Fatalf("different seeds produced %d identical samples", same)
+	}
+}
+
+func TestSampleCountAndBounds(t *testing.T) {
+	ds := Generate(smallConfig(7))
+	want := 4 * SamplesPerDay
+	if ds.Samples() != want {
+		t.Fatalf("samples = %d, want %d", ds.Samples(), want)
+	}
+	for _, g := range ds.Groups {
+		for i, v := range g.Load.Values {
+			if v < 0 || v > GroupCapacity {
+				t.Fatalf("group %s sample %d = %v out of [0, %d]", g.Name(), i, v, GroupCapacity)
+			}
+		}
+	}
+}
+
+func TestDefaultRegionsShape(t *testing.T) {
+	regs := DefaultRegions()
+	if len(regs) != 5 {
+		t.Fatalf("want 5 regions, got %d", len(regs))
+	}
+	if regs[0].Name != "Europe" || regs[0].Groups != 40 {
+		t.Fatalf("region 0 should be Europe with 40 groups: %+v", regs[0])
+	}
+	weekend := 0
+	for _, r := range regs {
+		if r.WeekendEffect {
+			weekend++
+		}
+	}
+	// Paper: about one third of the traces show weekend behavior.
+	if weekend == 0 || weekend == len(regs) {
+		t.Fatalf("weekend effect should hold for a strict subset of regions, got %d/%d", weekend, len(regs))
+	}
+}
+
+func TestDiurnalACF(t *testing.T) {
+	// A generated group's load must show the paper's 24h/12h ACF
+	// structure: positive peak near lag 720, negative near lag 360.
+	cfg := Config{Seed: 11, Days: 8, Regions: []Region{{ID: 0, Name: "eu", Groups: 4}}}
+	ds := Generate(cfg)
+	for _, g := range ds.Groups {
+		if g.Saturated {
+			continue
+		}
+		acf := stats.ACF(g.Load.Values, 740)
+		// Search around the expected lags to allow phase jitter.
+		_, peak := stats.ArgMax(acf, 700, 740)
+		if peak < 0.5 {
+			t.Errorf("group %s: ACF 24h peak = %v, want > 0.5", g.Name(), peak)
+		}
+		_, trough := stats.ArgMin(acf, 340, 380)
+		if trough > -0.3 {
+			t.Errorf("group %s: ACF 12h trough = %v, want < -0.3", g.Name(), trough)
+		}
+	}
+}
+
+func TestPeakOverMinimumSwing(t *testing.T) {
+	// Section III-C: during peak hours the median load is roughly 50%
+	// above the minimum. Verify the generated regional median swings
+	// by at least 30% over the day.
+	cfg := Config{Seed: 13, Days: 7, Regions: []Region{{ID: 0, Name: "eu", Groups: 12}}}
+	ds := Generate(cfg)
+	load, err := ds.RegionLoad(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := stats.Max(load.Values)
+	min := stats.Min(load.Values)
+	if min <= 0 {
+		// An outage can zero a group but not the whole region with 12
+		// groups; a zero regional minimum would be a generator bug.
+		t.Fatalf("regional load hit zero")
+	}
+	if swing := peak / min; swing < 1.3 {
+		t.Errorf("peak/min = %v, want >= 1.3", swing)
+	}
+}
+
+func TestSaturatedGroups(t *testing.T) {
+	// With a high saturated fraction, saturated groups must hold ~95%.
+	cfg := Config{Seed: 17, Days: 2, SaturatedFraction: 0.9,
+		Regions: []Region{{ID: 0, Name: "eu", Groups: 10}}}
+	ds := Generate(cfg)
+	sat := 0
+	for _, g := range ds.Groups {
+		if !g.Saturated {
+			continue
+		}
+		sat++
+		med := stats.Median(g.Load.Values)
+		if math.Abs(med-0.95*GroupCapacity) > 0.02*GroupCapacity {
+			t.Errorf("saturated group %s median = %v, want ~%v", g.Name(), med, 0.95*GroupCapacity)
+		}
+	}
+	if sat == 0 {
+		t.Fatal("no saturated groups at 90% fraction")
+	}
+}
+
+func TestOutagesOccurAndAreShort(t *testing.T) {
+	cfg := Config{Seed: 19, Days: 10, OutageRatePerDay: 2,
+		Regions: []Region{{ID: 0, Name: "eu", Groups: 5}}}
+	ds := Generate(cfg)
+	zeroRuns := 0
+	longest := 0
+	for _, g := range ds.Groups {
+		run := 0
+		for _, v := range g.Load.Values {
+			if v == 0 {
+				run++
+				if run > longest {
+					longest = run
+				}
+			} else {
+				if run > 0 {
+					zeroRuns++
+				}
+				run = 0
+			}
+		}
+	}
+	if zeroRuns == 0 {
+		t.Fatal("no outages at rate 2/day over 10 days x 5 groups")
+	}
+	if longest > 16 {
+		t.Fatalf("longest outage = %d samples, want <= 16 (~30 min)", longest)
+	}
+}
+
+func TestEventMultiplierBeforeEventIsOne(t *testing.T) {
+	for _, e := range Fig2Events() {
+		if m := e.Multiplier(e.Day - 1); m != 1 {
+			t.Errorf("%v multiplier before event = %v", e.Kind, m)
+		}
+	}
+}
+
+func TestUnpopularDecisionShape(t *testing.T) {
+	e := Event{Kind: UnpopularDecision, Day: 10, Magnitude: 0.25, RecoveryDays: 3, ResidualLevel: 0.95}
+	// Full crash by one day after.
+	if m := e.Multiplier(11); math.Abs(m-0.75) > 0.02 {
+		t.Errorf("multiplier at crash bottom = %v, want ~0.75", m)
+	}
+	// Recovers toward but not beyond the residual level.
+	if m := e.Multiplier(40); math.Abs(m-0.95) > 0.02 {
+		t.Errorf("long-run multiplier = %v, want ~0.95", m)
+	}
+	for d := 10.0; d < 40; d += 0.5 {
+		if m := e.Multiplier(d); m > 1.0001 || m < 0.74 {
+			t.Fatalf("multiplier out of range at day %v: %v", d, m)
+		}
+	}
+}
+
+func TestContentReleaseShape(t *testing.T) {
+	e := Event{Kind: ContentRelease, Day: 5, Magnitude: 0.5, RecoveryDays: 3.5}
+	// Peak close to +50% shortly after release.
+	peak := 0.0
+	for d := 5.0; d < 7; d += 0.05 {
+		if m := e.Multiplier(d); m > peak {
+			peak = m
+		}
+	}
+	if peak < 1.35 || peak > 1.51 {
+		t.Errorf("surge peak = %v, want in [1.35, 1.51]", peak)
+	}
+	// Decays back near 1 after several weeks.
+	if m := e.Multiplier(40); math.Abs(m-1) > 0.01 {
+		t.Errorf("long-run multiplier = %v, want ~1", m)
+	}
+}
+
+func TestFig2EventsVisibleInGlobalLoad(t *testing.T) {
+	cfg := Config{Seed: 23, Days: 40,
+		Regions: []Region{{ID: 0, Name: "eu", Groups: 10}},
+		Events:  []Event{{Kind: UnpopularDecision, Day: 20, Magnitude: 0.25, RecoveryDays: 3, ResidualLevel: 0.95}},
+	}
+	ds := Generate(cfg)
+	global, err := ds.GlobalLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare daily means just before and just after the crash.
+	day := SamplesPerDay
+	pre := stats.Mean(global.Values[18*day : 20*day])
+	post := stats.Mean(global.Values[21*day : 22*day])
+	drop := 1 - post/pre
+	if drop < 0.15 || drop > 0.35 {
+		t.Errorf("crash drop = %.2f, want ~0.25", drop)
+	}
+}
+
+func TestWeekendEffect(t *testing.T) {
+	mk := func(weekend bool) float64 {
+		cfg := Config{Seed: 29, Days: 14,
+			Regions: []Region{{ID: 0, Name: "x", Groups: 10, WeekendEffect: weekend}}}
+		ds := Generate(cfg)
+		load, err := ds.RegionLoad(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Start date 2007-08-18 is a Saturday: days 0,1,7,8 are weekend.
+		var we, wd []float64
+		for i, v := range load.Values {
+			day := i / SamplesPerDay
+			switch day % 7 {
+			case 0, 1:
+				we = append(we, v)
+			default:
+				wd = append(wd, v)
+			}
+		}
+		return stats.Mean(we) / stats.Mean(wd)
+	}
+	with := mk(true)
+	without := mk(false)
+	if with < 1.1 {
+		t.Errorf("weekend/weekday ratio with effect = %v, want > 1.1", with)
+	}
+	if math.Abs(without-1) > 0.08 {
+		t.Errorf("weekend/weekday ratio without effect = %v, want ~1", without)
+	}
+}
+
+func TestRegionGroupsAndNames(t *testing.T) {
+	ds := Generate(Config{Seed: 31, Days: 1, Regions: []Region{
+		{ID: 0, Name: "a", Groups: 3},
+		{ID: 1, Name: "b", Groups: 2},
+	}})
+	if got := len(ds.RegionGroups(0)); got != 3 {
+		t.Fatalf("region 0 groups = %d", got)
+	}
+	if got := len(ds.RegionGroups(1)); got != 2 {
+		t.Fatalf("region 1 groups = %d", got)
+	}
+	if ds.Groups[0].Name() != "r0g0" {
+		t.Fatalf("first group name = %q", ds.Groups[0].Name())
+	}
+	if _, err := ds.RegionLoad(9); err == nil {
+		t.Fatal("missing region should error")
+	}
+}
+
+func TestCrossGroupIQRVariesDiurnally(t *testing.T) {
+	// Fig. 3 middle subplot: the cross-group IQR has a diurnal cycle.
+	cfg := Config{Seed: 37, Days: 6, Regions: []Region{{ID: 0, Name: "eu", Groups: 20}}}
+	ds := Generate(cfg)
+	groups := ds.RegionGroups(0)
+	n := ds.Samples()
+	iqr := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs := make([]float64, len(groups))
+		for gi, g := range groups {
+			xs[gi] = g.Load.At(i)
+		}
+		iqr[i] = stats.IQR(xs)
+	}
+	acf := stats.ACF(iqr, 740)
+	_, peak := stats.ArgMax(acf, 700, 740)
+	if peak < 0.2 {
+		t.Errorf("IQR ACF 24h peak = %v, want > 0.2", peak)
+	}
+}
+
+func TestGlobalLoadEmptyDataset(t *testing.T) {
+	ds := &Dataset{}
+	if _, err := ds.GlobalLoad(); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if ContentRelease.String() == "" || UnpopularDecision.String() == "" {
+		t.Fatal("event kinds need labels")
+	}
+	if EventKind(9).String() != "EventKind(9)" {
+		t.Fatal("unknown event kind label wrong")
+	}
+}

@@ -1,0 +1,279 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	before := parent.state
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	if parent.state != before {
+		t.Fatal("Split advanced the parent stream")
+	}
+	// Children with different labels produce different streams.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children produced %d/100 identical draws", same)
+	}
+	// Splitting again with the same label reproduces the stream.
+	c1b := parent.Split(1)
+	c1a := parent.Split(1)
+	for i := 0; i < 100; i++ {
+		if c1a.Uint64() != c1b.Uint64() {
+			t.Fatalf("same-label splits diverged at draw %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Errorf("bucket %d: got %d, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(8)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-3.5) > 0.1 {
+		t.Fatalf("Exp(3.5) mean = %v", mean)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(40, 2.5)
+		if v < 40 {
+			t.Fatalf("Pareto(40, 2.5) = %v below scale", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element sum: %d != %d", got, sum)
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := New(29)
+	weights := []float64{0, 1, 3, 0, 6}
+	counts := make([]int, len(weights))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.WeightedChoice(weights)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight buckets were chosen: %v", counts)
+	}
+	// Expect proportions 1:3:6.
+	total := float64(counts[1] + counts[2] + counts[4])
+	for i, want := range map[int]float64{1: 0.1, 2: 0.3, 4: 0.6} {
+		got := float64(counts[i]) / total
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("bucket %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	for _, weights := range [][]float64{nil, {}, {0, 0}, {-1, -5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WeightedChoice(%v) did not panic", weights)
+				}
+			}()
+			New(1).WeightedChoice(weights)
+		}()
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	r := New(31)
+	const n = int64(1) << 40
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(37)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency = %v", p)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormal(3, 0.5); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}
