@@ -1,0 +1,32 @@
+# Repository CI targets. `make ci` is what a PR must keep green: vet,
+# build, the full test suite under the race detector (guarding the
+# parallel per-zone simulation engine in internal/core and the sweep
+# pool in internal/par), and a one-iteration benchmark smoke so the
+# BenchmarkCoreRun* variants always stay runnable.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the core-engine benchmarks: catches bit-rot in the
+# bench harness without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench CoreRun -benchtime 1x .
+
+# Full benchmark suite (minutes).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

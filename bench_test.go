@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"mmogdc/internal/core"
 	"mmogdc/internal/datacenter"
 	"mmogdc/internal/ecosystem"
 	"mmogdc/internal/emulator"
@@ -105,6 +106,43 @@ func BenchmarkPredictExpSmoothing(b *testing.B) {
 func BenchmarkPredictSlidingWindowMedian(b *testing.B) {
 	benchPredictor(b, predict.NewSlidingWindowMedian(predict.DefaultWindow))
 }
+
+// ---- core simulation engine: sequential vs parallel tick phases ----
+
+// benchmarkCoreRun measures one full dynamic-provisioning run — 125
+// server groups over a one-day trace with the online (6,3,1) neural
+// predictor per group, the workload whose per-zone Observe/Predict
+// walk dominates the tick — at the given per-zone parallelism.
+// Workers=1 is the sequential engine; Workers=0 sizes the worker pool
+// by GOMAXPROCS. The Result is bit-identical across all variants (see
+// core's TestParallelSequentialEquivalence); only wall-clock differs.
+func benchmarkCoreRun(b *testing.B, workers int) {
+	b.Helper()
+	ds := trace.Generate(trace.Config{Seed: 7, Days: 1})
+	game := mmog.NewGame("bench", mmog.GenreMMORPG)
+	factory := predict.NewNeural(predict.PaperNeuralConfig(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Centers and predictors are stateful across a run: rebuild.
+		cfg := core.Config{
+			Workers:   workers,
+			Centers:   datacenter.BuildCenters(datacenter.TableIIISites(), datacenter.Policies()[:2]),
+			Workloads: []core.Workload{{Game: game, Dataset: ds, Predictor: factory}},
+		}
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreRunSequential(b *testing.B) { benchmarkCoreRun(b, 1) }
+
+func BenchmarkCoreRunWorkers2(b *testing.B) { benchmarkCoreRun(b, 2) }
+
+func BenchmarkCoreRunWorkers4(b *testing.B) { benchmarkCoreRun(b, 4) }
+
+func BenchmarkCoreRunParallel(b *testing.B) { benchmarkCoreRun(b, 0) }
 
 // ---- substrate micro-benchmarks ----
 

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
@@ -33,6 +34,7 @@ func main() {
 		predictor = flag.String("predictor", "neural", "neural|average|lastvalue|movingavg|median|expsmoothing")
 		static    = flag.Bool("static", false, "static (peak-capacity) provisioning instead of dynamic")
 		margin    = flag.Float64("margin", 0, "safety margin on predicted demand (e.g. 0.1 = +10%)")
+		workers   = flag.Int("workers", 0, "per-zone simulation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -45,7 +47,7 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := core.Config{Static: *static, SafetyMargin: *margin}
+	cfg := core.Config{Static: *static, SafetyMargin: *margin, Workers: *workers}
 	if !*static {
 		policies, err := parsePolicies(*policy)
 		if err != nil {
@@ -72,8 +74,8 @@ func main() {
 	}
 	fmt.Printf("mode=%s update=%s groups=%d ticks=%d\n", mode, game.Update, len(ds.Groups), res.Ticks)
 	for _, r := range datacenter.AllResources {
-		fmt.Printf("  %-12s over-allocation %8.2f%%   under-allocation %8.3f%%\n",
-			r, res.AvgOverPct[r], res.AvgUnderPct[r])
+		fmt.Printf("  %-12s over-allocation %8s   under-allocation %8.3f%%\n",
+			r, pct(res.AvgOverPct[r]), res.AvgUnderPct[r])
 	}
 	fmt.Printf("  significant under-allocation events (|Y|>1%%): %d / %d ticks\n", res.Events, res.Ticks)
 	if res.Unmet > 0 {
@@ -161,6 +163,15 @@ func factoryFor(name string, seed uint64, days int) (predict.Factory, error) {
 	default:
 		return nil, fmt.Errorf("unknown predictor %q", name)
 	}
+}
+
+// pct renders a percentage metric; an undefined one (NaN, e.g.
+// over-allocation for a resource that never saw load) reads "n/a".
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", v)
 }
 
 func fatal(err error) {

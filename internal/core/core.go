@@ -30,6 +30,7 @@ import (
 	"mmogdc/internal/ecosystem"
 	"mmogdc/internal/geo"
 	"mmogdc/internal/mmog"
+	"mmogdc/internal/par"
 	"mmogdc/internal/predict"
 	"mmogdc/internal/trace"
 )
@@ -77,8 +78,18 @@ type Config struct {
 	// Failures injects data-center outages: each takes the named
 	// center offline (dropping all its leases) at a tick and brings it
 	// back after a duration. The game operator re-acquires lost
-	// capacity through the normal per-tick requests.
+	// capacity through the normal per-tick requests. AtTick must be
+	// >= 0 (tick 0 fires before the bootstrap acquire) and
+	// DurationTicks must be >= 1; Run rejects anything else. A failure
+	// naming an unknown center is ignored.
 	Failures []Failure
+	// Workers is the parallelism of the per-zone tick phase: 0 sizes
+	// the worker pool by GOMAXPROCS, 1 runs fully sequentially on the
+	// caller's goroutine. The result is bit-for-bit identical for any
+	// worker count — per-zone work is embarrassingly parallel and the
+	// reduce and acquire phases stay sequential in deterministic
+	// order.
+	Workers int
 }
 
 // Failure is one scheduled data-center outage.
@@ -96,7 +107,9 @@ type Result struct {
 	// Ticks is the number of scored samples.
 	Ticks int
 	// AvgOverPct is the mean over-allocation percentage per resource
-	// (Ω−100%), averaged over ticks with non-zero load.
+	// (Ω−100%), averaged over ticks with non-zero load. A resource
+	// that never sees load has no defined over-allocation ratio and
+	// reports math.NaN(); formatting layers render it as "n/a".
 	AvgOverPct [datacenter.NumResources]float64
 	// AvgUnderPct is the mean under-allocation Υ per resource (<= 0).
 	AvgUnderPct [datacenter.NumResources]float64
@@ -140,8 +153,25 @@ type zoneState struct {
 	region    trace.Region
 	predictor predict.Predictor
 	leases    []*datacenter.Lease
+	// idx is the zone's position in the canonical zone order — the
+	// index of its slot in the per-tick partials.
+	idx int
 	// static allocation (static mode only).
 	staticAlloc datacenter.Vector
+}
+
+// zonePartial is one zone's contribution to a tick, produced by the
+// parallel per-zone phase and folded in by the sequential reduce. All
+// fields are pure functions of zone-local state, so their values do
+// not depend on the worker count or execution order.
+type zonePartial struct {
+	// alloc is the allocation in force at the scoring instant.
+	alloc datacenter.Vector
+	// load is the actual resource demand at the scoring instant.
+	load datacenter.Vector
+	// need is the gap to request from the ecosystem for the next tick
+	// (zero in static mode and on the final tick).
+	need datacenter.Vector
 }
 
 // tag returns the request tag for accounting.
@@ -208,10 +238,17 @@ func Run(cfg Config) (*Result, error) {
 	}
 	var zones []*zoneState
 	samples := 0
+	gameNames := map[string]bool{}
 	for _, w := range cfg.Workloads {
 		if w.Game == nil || w.Dataset == nil {
 			return nil, fmt.Errorf("core: workload needs game and dataset")
 		}
+		// Per-game accounting (gameAlloc, AvgUnderByGame, ...) is keyed
+		// by name; two games sharing one would silently merge.
+		if gameNames[w.Game.Name] {
+			return nil, fmt.Errorf("core: duplicate game name %q across workloads", w.Game.Name)
+		}
+		gameNames[w.Game.Name] = true
 		if samples == 0 {
 			samples = w.Dataset.Samples()
 		} else if w.Dataset.Samples() != samples {
@@ -222,7 +259,7 @@ func Run(cfg Config) (*Result, error) {
 			regions[r.ID] = r
 		}
 		for _, g := range w.Dataset.Groups {
-			z := &zoneState{game: w.Game, group: g, region: regions[g.RegionID]}
+			z := &zoneState{game: w.Game, group: g, region: regions[g.RegionID], idx: len(zones)}
 			if !cfg.Static {
 				if w.Predictor == nil {
 					return nil, fmt.Errorf("core: dynamic mode needs a predictor for game %s", w.Game.Name)
@@ -234,6 +271,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if samples < 2 {
 		return nil, fmt.Errorf("core: need at least 2 samples")
+	}
+	for _, f := range cfg.Failures {
+		if f.AtTick < 0 {
+			return nil, fmt.Errorf("core: failure of %q at negative tick %d", f.Center, f.AtTick)
+		}
+		if f.DurationTicks < 1 {
+			return nil, fmt.Errorf("core: failure of %q needs DurationTicks >= 1, got %d", f.Center, f.DurationTicks)
+		}
 	}
 
 	if cfg.Static {
@@ -282,15 +327,56 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	// Each tick splits into three phases. Phase 1 fans the per-zone
+	// work — predictor Observe/Predict, demand conversion, per-zone
+	// allocation scoring — out over this pool; every datum it touches
+	// is zone-local (predictor state, leases) or read-only (trace,
+	// game model), so zones never contend. Phase 2 folds the partials
+	// sequentially in canonical zone order, and phase 3 submits the
+	// contended resource requests sequentially in acquire order, which
+	// keeps Result bit-for-bit independent of the worker count.
+	pool := par.New(cfg.Workers)
+	defer pool.Close()
+	partials := make([]zonePartial, len(zones))
+
+	centersByName := map[string]*datacenter.Center{}
+	for _, c := range cfg.Centers {
+		centersByName[c.Name] = c
+	}
+
+	// applyFailures fires the scheduled outages and recoveries due at
+	// tick t: the capacity vanishes, the operator notices through its
+	// lapsed leases. Tick-0 outages fire before the bootstrap acquire,
+	// so a center that is down from the start never hands out leases.
+	applyFailures := func(t int) {
+		for _, f := range cfg.Failures {
+			c := centersByName[f.Center]
+			if c == nil {
+				continue
+			}
+			if t == f.AtTick {
+				c.Fail()
+			}
+			if t == f.AtTick+f.DurationTicks {
+				c.Recover()
+			}
+		}
+	}
+	applyFailures(0)
+
 	// Bootstrap: before the first scored tick the operator observes
 	// the initial load and provisions for it, so the simulation does
 	// not begin with an empty allocation (game sessions do not start
 	// cold mid-operation).
 	if !cfg.Static {
-		for _, z := range acquireOrder {
+		pool.For(len(zones), func(i int) {
+			z := zones[i]
 			z.predictor.Observe(z.group.Load.At(0))
 			predicted := sanitizePrediction(z.predictor.Predict())
-			want := demandVector(z.game, predicted*(1+cfg.SafetyMargin))
+			partials[i].need = demandVector(z.game, predicted*(1+cfg.SafetyMargin))
+		})
+		for _, z := range acquireOrder {
+			want := partials[z.idx].need
 			if want.IsZero() {
 				continue
 			}
@@ -304,43 +390,47 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	centersByName := map[string]*datacenter.Center{}
-	for _, c := range cfg.Centers {
-		centersByName[c.Name] = c
-	}
-
 	for t := 1; t < samples; t++ {
 		now := start.Add(time.Duration(t) * tick)
-		// Scheduled data-center outages fire before anything else this
-		// tick: the capacity vanishes, the operator notices through
-		// its lapsed leases.
-		for _, f := range cfg.Failures {
-			c := centersByName[f.Center]
-			if c == nil {
-				continue
-			}
-			if t == f.AtTick {
-				c.Fail()
-			}
-			if t == f.AtTick+f.DurationTicks {
-				c.Recover()
-			}
-		}
+		applyFailures(t)
 		if !cfg.Static {
 			matcher.Expire(now)
 		}
+		final := t == samples-1
 
-		// Score tick t: allocation in force vs actual demand.
+		// Phase 1 (parallel per-zone): score the allocation in force
+		// against the actual demand, observe the new sample, and size
+		// the request closing the gap to the predicted next demand.
+		pool.For(len(zones), func(i int) {
+			z := zones[i]
+			pt := &partials[i]
+			if cfg.Static {
+				pt.alloc = z.staticAlloc
+			} else {
+				pt.alloc = z.activeAlloc(now)
+			}
+			pt.load = demandVector(z.game, z.group.Load.At(t))
+			pt.need = datacenter.Vector{}
+			if cfg.Static || final {
+				return
+			}
+			// Observe tick t, predict tick t+1. The request is sized
+			// against the allocation surviving to the next scoring
+			// instant, so leases renew before they lapse.
+			z.predictor.Observe(z.group.Load.At(t))
+			predicted := sanitizePrediction(z.predictor.Predict())
+			want := demandVector(z.game, predicted*(1+cfg.SafetyMargin))
+			have := z.allocAt(now.Add(tick))
+			pt.need = want.Sub(have).ClampNonNegative()
+		})
+
+		// Phase 2 (sequential reduce): fold the per-zone partials in
+		// canonical zone order — float summation order is fixed, so
+		// the metrics do not depend on the worker count.
 		var alloc, load [datacenter.NumResources]float64
 		var shortfall [datacenter.NumResources]float64
 		for _, z := range zones {
-			var a datacenter.Vector
-			if cfg.Static {
-				a = z.staticAlloc
-			} else {
-				a = z.activeAlloc(now)
-			}
-			l := demandVector(z.game, z.group.Load.At(t))
+			a, l := partials[z.idx].alloc, partials[z.idx].load
 			for r := 0; r < int(datacenter.NumResources); r++ {
 				alloc[r] += a[r]
 				load[r] += l[r]
@@ -414,18 +504,16 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		if cfg.Static || t == samples-1 {
+		if cfg.Static || final {
 			continue
 		}
 
-		// Observe tick t, predict tick t+1, lease the gap.
+		// Phase 3 (sequential acquire): lease the per-zone gaps, in
+		// submission/priority order — capacity contention resolves
+		// exactly as in the sequential engine.
 		anyUnmet := false
 		for _, z := range acquireOrder {
-			z.predictor.Observe(z.group.Load.At(t))
-			predicted := sanitizePrediction(z.predictor.Predict())
-			want := demandVector(z.game, predicted*(1+cfg.SafetyMargin))
-			have := z.allocAt(now.Add(tick))
-			need := want.Sub(have).ClampNonNegative()
+			need := partials[z.idx].need
 			if need.IsZero() {
 				continue
 			}

@@ -281,6 +281,89 @@ func TestMultipleWorkloadsShareCapacity(t *testing.T) {
 	}
 }
 
+func TestDuplicateGameNamesRejected(t *testing.T) {
+	// Two games sharing a name would silently merge their per-game
+	// accounting (gameAlloc/gameShort/AvgUnderByGame).
+	mk := func() Workload {
+		return Workload{Game: mmog.NewGame("same", mmog.GenreMMORPG),
+			Dataset: syntheticDataset(1, 10, 100), Predictor: predict.NewLastValue()}
+	}
+	_, err := Run(Config{Centers: fineCenters(10), Workloads: []Workload{mk(), mk()}})
+	if err == nil {
+		t.Fatal("duplicate game names should error")
+	}
+}
+
+func TestFailureValidation(t *testing.T) {
+	ds := syntheticDataset(1, 20, 500)
+	base := Config{
+		Centers:   fineCenters(10),
+		Workloads: []Workload{{Game: testGame(), Dataset: ds, Predictor: predict.NewLastValue()}},
+	}
+	neg := base
+	neg.Failures = []Failure{{Center: "dc", AtTick: -1, DurationTicks: 5}}
+	if _, err := Run(neg); err == nil {
+		t.Error("negative AtTick should error")
+	}
+	// DurationTicks <= 0 used to Fail() and Recover() the center in
+	// the same tick, dropping every lease as a side effect.
+	zero := base
+	zero.Failures = []Failure{{Center: "dc", AtTick: 5, DurationTicks: 0}}
+	if _, err := Run(zero); err == nil {
+		t.Error("DurationTicks=0 should error")
+	}
+}
+
+func TestFailureAtTickZeroFiresBeforeBootstrap(t *testing.T) {
+	// A tick-0 outage used to be skipped entirely (the tick loop
+	// starts at t=1). It must take the center down before the
+	// bootstrap acquire, so the run starts with no allocation at all.
+	ds := syntheticDataset(2, 60, 1000)
+	centers := fineCenters(20)
+	res, err := Run(Config{
+		Centers:  centers,
+		Failures: []Failure{{Center: "dc", AtTick: 0, DurationTicks: 10}},
+		Workloads: []Workload{{
+			Game: testGame(), Dataset: ds, Predictor: predict.NewLastValue(),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tick 1 (UnderPct[0]) scores with the only center dark since
+	// before bootstrap: a deep shortfall.
+	if res.UnderPct[0] > -10 {
+		t.Fatalf("tick-1 under-allocation = %v, want deep dip from tick-0 outage", res.UnderPct[0])
+	}
+	// After recovery at tick 10 the operator re-acquires within a
+	// tick; tick 12 (UnderPct[11]) is healthy again.
+	if res.UnderPct[11] < -SignificantUnderPct {
+		t.Fatalf("post-recovery under-allocation = %v, want healed", res.UnderPct[11])
+	}
+	if centers[0].Offline() {
+		t.Fatal("center should be back online")
+	}
+}
+
+func TestAvgOverPctNaNWhenResourceNeverLoaded(t *testing.T) {
+	// A zero-load trace produces zero demand on every resource: the
+	// over-allocation ratio is undefined, reported as NaN (and
+	// rendered "n/a" by the formatting layers).
+	ds := syntheticDataset(1, 10, 0)
+	res, err := Run(Config{
+		Centers:   fineCenters(5),
+		Workloads: []Workload{{Game: testGame(), Dataset: ds, Predictor: predict.NewLastValue()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range res.AvgOverPct {
+		if !math.IsNaN(v) {
+			t.Errorf("AvgOverPct[%d] = %v, want NaN on a never-loaded resource", r, v)
+		}
+	}
+}
+
 func TestSafetyMarginReducesEvents(t *testing.T) {
 	mk := func(margin float64) int {
 		ds := trace.Generate(trace.Config{Seed: 11, Days: 1,

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -182,11 +183,23 @@ func table(header []string, rows [][]string) string {
 	return b.String()
 }
 
-// f2 formats a float with two decimals.
-func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+// f2 formats a float with two decimals. Undefined metrics (NaN, e.g.
+// core.Result.AvgOverPct for a resource that never saw load) render
+// as "n/a" instead of leaking "NaN" into report text.
+func f2(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
 
-// f3 formats a float with three decimals.
-func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+// f3 formats a float with three decimals; NaN renders as "n/a".
+func f3(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
 
 // sortedKeys returns the map's keys sorted.
 func sortedKeys[M map[string]V, V any](m M) []string {

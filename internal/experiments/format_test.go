@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFormatNaNAsNA is the regression test for the NaN leak: a
+// core.Result.AvgOverPct of math.NaN() (a resource that never saw
+// load) used to print as "NaN" in report tables.
+func TestFormatNaNAsNA(t *testing.T) {
+	if got := f2(math.NaN()); got != "n/a" {
+		t.Errorf("f2(NaN) = %q, want n/a", got)
+	}
+	if got := f3(math.NaN()); got != "n/a" {
+		t.Errorf("f3(NaN) = %q, want n/a", got)
+	}
+	if got := f2(1.234); got != "1.23" {
+		t.Errorf("f2(1.234) = %q", got)
+	}
+	if got := f3(-0.5); got != "-0.500" {
+		t.Errorf("f3(-0.5) = %q", got)
+	}
+	row := table([]string{"metric"}, [][]string{{f2(math.NaN())}})
+	if strings.Contains(row, "NaN") {
+		t.Errorf("NaN leaked into table output:\n%s", row)
+	}
+}

@@ -1,6 +1,12 @@
 package experiments
 
-import "sync"
+import "mmogdc/internal/par"
+
+// sweepPool is the process-wide worker pool behind parallelMap, sized
+// by GOMAXPROCS. The experiment sweeps are long-lived and coarse
+// grained, so one shared resident pool (never closed) beats spawning
+// an unbounded goroutine per sweep entry.
+var sweepPool = par.New(0)
 
 // parallelMap runs fn(0..n-1) concurrently and returns the collected
 // results in index order, or the first error encountered. The sweep
@@ -10,21 +16,5 @@ import "sync"
 // reads the shared trace dataset and the pretrained network prototype
 // (which is cloned, never trained, after pretraining).
 func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			out[i], errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return par.Map(sweepPool, n, fn)
 }

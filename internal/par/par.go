@@ -1,0 +1,148 @@
+// Package par provides a small reusable worker pool for data-parallel
+// loops over index ranges. The provisioning simulation fans its
+// per-zone tick work out over one pool per run, and the experiment
+// sweeps use the package-level Map to run independent simulations
+// concurrently.
+//
+// The pool is deliberately minimal: a fixed set of resident workers, a
+// For primitive that splits [0, n) across them with work stealing (an
+// atomic cursor, so uneven per-index cost balances itself), and a
+// generic Map built on top. The caller always executes one share of
+// the loop itself, which makes nested or concurrent For calls
+// deadlock-free even when every resident worker is busy: forward
+// progress never depends on a worker becoming available.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs index-parallel loops on a fixed set of reusable workers.
+// A Pool with one worker executes everything inline on the caller's
+// goroutine — byte-for-byte the sequential behavior, with no
+// goroutines spawned. Pools are safe for concurrent use.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	close   sync.Once
+}
+
+// New builds a pool. workers <= 0 sizes it by GOMAXPROCS. A pool with
+// more than one worker owns workers-1 resident goroutines (the caller
+// of For contributes the remaining share) and must be released with
+// Close when no longer needed.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan func(), workers-1)
+		for i := 0; i < workers-1; i++ {
+			go func() {
+				for f := range p.tasks {
+					f()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Workers returns the pool's parallelism (including the caller).
+func (p *Pool) Workers() int { return p.workers }
+
+// Close releases the resident workers. For must not be called after
+// Close. Closing a sequential (one-worker) pool is a no-op; Close is
+// idempotent.
+func (p *Pool) Close() {
+	if p.tasks != nil {
+		p.close.Do(func() { close(p.tasks) })
+	}
+}
+
+// For runs fn(i) for every i in [0, n), distributing the indices over
+// the pool, and returns when all calls have finished. Distinct indices
+// may run concurrently; fn must not assume any ordering. A panic in fn
+// is re-raised on the caller's goroutine after the loop drains.
+func (p *Pool) For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		cursor   atomic.Int64
+		panicMu  sync.Mutex
+		panicVal any
+		panicked bool
+	)
+	share := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if !panicked {
+					panicked, panicVal = true, r
+				}
+				panicMu.Unlock()
+				// Stop handing out further indices; the loop still
+				// drains so no goroutine is left behind.
+				cursor.Store(int64(n))
+			}
+		}()
+		for {
+			i := cursor.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	helpers := p.workers - 1
+	if n-1 < helpers {
+		helpers = n - 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			share()
+		}
+		select {
+		case p.tasks <- task:
+		default:
+			// Every resident worker is busy (nested or concurrent For):
+			// skip the helper, the caller's share covers its indices.
+			wg.Done()
+		}
+	}
+	share()
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+}
+
+// Map runs fn(0..n-1) on the pool and returns the collected results in
+// index order, or the first (lowest-index) error encountered. All n
+// calls run even when an early index fails.
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	p.For(n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

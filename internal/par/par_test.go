@@ -1,0 +1,134 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			p := New(workers)
+			defer p.Close()
+			for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+				hits := make([]int32, n)
+				p.For(n, func(i int) {
+					atomic.AddInt32(&hits[i], 1)
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("n=%d: index %d executed %d times", n, i, h)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	if q := New(1); q.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", q.Workers())
+	}
+}
+
+func TestPoolIsReusable(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var total atomic.Int64
+	for round := 0; round < 50; round++ {
+		p.For(64, func(i int) { total.Add(1) })
+	}
+	if total.Load() != 50*64 {
+		t.Fatalf("total = %d", total.Load())
+	}
+}
+
+func TestConcurrentForCalls(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.For(100, func(i int) { total.Add(int64(i)) })
+		}()
+	}
+	wg.Wait()
+	if want := int64(8 * 100 * 99 / 2); total.Load() != want {
+		t.Fatalf("total = %d, want %d", total.Load(), want)
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var total atomic.Int64
+	p.For(8, func(i int) {
+		p.For(8, func(j int) { total.Add(1) })
+	})
+	if total.Load() != 64 {
+		t.Fatalf("total = %d", total.Load())
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	p.For(100, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+	t.Fatal("For should have panicked")
+}
+
+func TestMapOrderAndError(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	out, err := Map(p, 10, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	boom := errors.New("boom")
+	if _, err := Map(p, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestSequentialPoolRunsInline(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	// Order must be strictly 0..n-1 on the caller's goroutine.
+	var got []int
+	p.For(5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want in-order indices", got)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# CI entry point — equivalent to `make ci` for environments without
+# make. Keeps the race detector on the full suite so the parallel
+# per-zone engine in internal/core is re-proven on every PR.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run '^$' -bench CoreRun -benchtime 1x .
