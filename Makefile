@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench
+.PHONY: ci vet build test race bench-smoke bench chaos-smoke
 
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,15 @@ race:
 # bench harness without paying for a full measurement run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench CoreRun -benchtime 1x .
+
+# Fault-injection smoke: a short chaos run under the race detector must
+# finish and report its resilience accounting (stochastic injector,
+# failover, and backoff paths on top of the parallel engine).
+chaos-smoke:
+	$(GO) run -race ./cmd/mmogsim -days 1 -predictor lastvalue \
+		-mtbf 150 -mttr 25 -fault-seed 7 \
+		-fault-reject 0.05 -fault-dropout 0.02 -fault-degraded 0.5 \
+		| grep 'outages:' > /dev/null
 
 # Full benchmark suite (minutes).
 bench:

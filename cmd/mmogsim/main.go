@@ -11,14 +11,18 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"mmogdc/internal/core"
 	"mmogdc/internal/datacenter"
+	"mmogdc/internal/faults"
 	"mmogdc/internal/mmog"
 	"mmogdc/internal/predict"
 	"mmogdc/internal/trace"
@@ -35,6 +39,15 @@ func main() {
 		static    = flag.Bool("static", false, "static (peak-capacity) provisioning instead of dynamic")
 		margin    = flag.Float64("margin", 0, "safety margin on predicted demand (e.g. 0.1 = +10%)")
 		workers   = flag.Int("workers", 0, "per-zone simulation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+
+		failFile  = flag.String("failures", "", "scheduled outage file: one 'center,atTick,durationTicks' per line, # comments")
+		faultSeed = flag.Uint64("fault-seed", 0, "seed of the stochastic fault injector (0 = reuse -seed)")
+		mtbf      = flag.Float64("mtbf", 0, "mean ticks between center outages (0 disables stochastic outages)")
+		mttr      = flag.Float64("mttr", 0, "mean outage duration in ticks (0 = injector default)")
+		degraded  = flag.Float64("fault-degraded", 0, "probability an outage is partial (center keeps a share of machines)")
+		reject    = flag.Float64("fault-reject", 0, "probability a center rejects one grant attempt")
+		partial   = flag.Float64("fault-partial", 0, "probability a grant is trimmed to a fraction")
+		dropout   = flag.Float64("fault-dropout", 0, "probability one zone's monitoring sample is lost at one tick")
 	)
 	flag.Parse()
 
@@ -47,13 +60,42 @@ func main() {
 		fatal(err)
 	}
 
+	fcfg := faults.Config{
+		Seed:          *faultSeed,
+		MTBFTicks:     *mtbf,
+		MTTRTicks:     *mttr,
+		DegradedShare: *degraded,
+		RejectProb:    *reject,
+
+		PartialGrantProb: *partial,
+		DropoutProb:      *dropout,
+	}
+	if fcfg.Seed == 0 {
+		fcfg.Seed = *seed
+	}
+	faulted := fcfg.Enabled() || *failFile != ""
+
 	cfg := core.Config{Static: *static, SafetyMargin: *margin, Workers: *workers}
-	if !*static {
+	if fcfg.Enabled() {
+		cfg.Faults = &fcfg
+	}
+	if *failFile != "" {
+		failures, err := loadFailures(*failFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Failures = failures
+	}
+	// Static mode normally needs no centers, but outages need somewhere
+	// to strike: give the static fleet its home centers too.
+	if !*static || faulted {
 		policies, err := parsePolicies(*policy)
 		if err != nil {
 			fatal(err)
 		}
 		cfg.Centers = datacenter.BuildCenters(datacenter.TableIIISites(), policies)
+	}
+	if !*static {
 		f, err := factoryFor(*predictor, *seed, *days)
 		if err != nil {
 			fatal(err)
@@ -81,6 +123,77 @@ func main() {
 	if res.Unmet > 0 {
 		fmt.Printf("  WARNING: %d ticks with unmet demand (capacity or latency bound)\n", res.Unmet)
 	}
+	if faulted {
+		printResilience(res.Resilience)
+	}
+}
+
+// printResilience renders the fault-handling section of a run that had
+// faults configured.
+func printResilience(r *core.Resilience) {
+	fmt.Printf("resilience:\n")
+	fmt.Printf("  outages: %d (%d full, %d partial), capacity recovered in-run: %d\n",
+		r.Outages, r.FullOutages, r.PartialOutages, r.CapacityRecovered)
+	if r.ServiceRecovered > 0 {
+		fmt.Printf("  service recovered: %d, mean time to recover: %.2f ticks\n",
+			r.ServiceRecovered, r.MeanTimeToRecoverTicks)
+	}
+	fmt.Printf("  failovers: %d (%d leases re-acquired), retries after rejection: %d\n",
+		r.Failovers, r.FailoverLeases, r.Retries)
+	fmt.Printf("  injected: %d rejections, %d partial grants, %d dropped samples\n",
+		r.Rejections, r.PartialGrants, r.DroppedSamples)
+	fmt.Printf("  capacity lost: %.1f CPU-ticks\n", r.CapacityLostCPUTicks)
+	if len(r.Availability) > 0 {
+		names := make([]string, 0, len(r.Availability))
+		for name := range r.Availability {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("  availability by center:\n")
+		for _, name := range names {
+			fmt.Printf("    %-24s %7.3f%%\n", name, r.Availability[name]*100)
+		}
+	}
+}
+
+// loadFailures parses a scheduled-outage file: one outage per line as
+// "center,atTick,durationTicks"; blank lines and # comments skipped.
+func loadFailures(path string) ([]core.Failure, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var out []core.Failure
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 'center,atTick,durationTicks', got %q", path, line, text)
+		}
+		at, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad tick: %v", path, line, err)
+		}
+		dur, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad duration: %v", path, line, err)
+		}
+		out = append(out, core.Failure{
+			Center: strings.TrimSpace(parts[0]), AtTick: at, DurationTicks: dur,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func loadTrace(path string, seed uint64, days int) (*trace.Dataset, error) {

@@ -28,11 +28,20 @@ import (
 
 	"mmogdc/internal/datacenter"
 	"mmogdc/internal/ecosystem"
+	"mmogdc/internal/faults"
 	"mmogdc/internal/geo"
 	"mmogdc/internal/mmog"
 	"mmogdc/internal/par"
 	"mmogdc/internal/predict"
 	"mmogdc/internal/trace"
+)
+
+// Backoff policy for injected grant rejections: after the n-th
+// consecutive rejected acquisition a zone waits 1, 2, 4, then 8 ticks
+// before asking again (bounded exponential backoff).
+const (
+	maxRetryExp     = 4
+	maxBackoffTicks = 8
 )
 
 // SignificantUnderPct is the |Υ| threshold (in percent) above which an
@@ -75,14 +84,23 @@ type Config struct {
 	// contention it hands the steepest demand curves first pick, which
 	// is where a shortfall hurts the most.
 	PrioritizeByInteraction bool
-	// Failures injects data-center outages: each takes the named
-	// center offline (dropping all its leases) at a tick and brings it
-	// back after a duration. The game operator re-acquires lost
-	// capacity through the normal per-tick requests. AtTick must be
-	// >= 0 (tick 0 fires before the bootstrap acquire) and
-	// DurationTicks must be >= 1; Run rejects anything else. A failure
-	// naming an unknown center is ignored.
+	// Failures injects scheduled data-center outages: each takes the
+	// named center offline (dropping all its leases) at a tick and
+	// brings it back after a duration. The game operator re-acquires
+	// lost capacity the same tick, excluding the failed center from
+	// the retry. AtTick must be >= 0 (tick 0 fires before the
+	// bootstrap acquire), DurationTicks must be >= 1, and the named
+	// center must exist; Run rejects anything else. Overlapping
+	// windows for one center compose through refcounting — the center
+	// recovers only when its last window closes.
 	Failures []Failure
+	// Faults configures the seeded stochastic fault injector
+	// (internal/faults): MTBF/MTTR center outages (full or partial),
+	// lease-grant rejections and partial grants, and monitoring
+	// dropouts. Nil injects nothing. The fault plan is pre-generated
+	// from Faults.Seed, so the same seed reproduces a bit-identical
+	// Result for any Workers setting.
+	Faults *faults.Config
 	// Workers is the parallelism of the per-zone tick phase: 0 sizes
 	// the worker pool by GOMAXPROCS, 1 runs fully sequentially on the
 	// caller's goroutine. The result is bit-for-bit identical for any
@@ -132,6 +150,9 @@ type Result struct {
 	AvgUnderByGame map[string]float64
 	// CenterStats maps center name to its accounting (TrackCenters).
 	CenterStats map[string]*CenterStats
+	// Resilience accounts the run's fault handling (always set; all
+	// zeros when nothing was injected).
+	Resilience *Resilience
 }
 
 // CenterStats accounts one center's CPU usage over a run.
@@ -158,6 +179,17 @@ type zoneState struct {
 	idx int
 	// static allocation (static mode only).
 	staticAlloc datacenter.Vector
+	// home is the center hosting the zone's static fleet (static mode
+	// with centers configured); its outages darken the allocation.
+	home *datacenter.Center
+	// lastObs carries the last monitoring sample that actually
+	// arrived; dropouts feed it to the predictor instead (LOCF).
+	lastObs float64
+	// retries and retryAt implement the bounded backoff after
+	// injected grant rejections: the zone skips acquisitions until
+	// tick retryAt.
+	retries int
+	retryAt int
 }
 
 // zonePartial is one zone's contribution to a tick, produced by the
@@ -172,6 +204,9 @@ type zonePartial struct {
 	// need is the gap to request from the ecosystem for the next tick
 	// (zero in static mode and on the final tick).
 	need datacenter.Vector
+	// dropped flags a monitoring dropout at this tick (the sample was
+	// carried forward).
+	dropped bool
 }
 
 // tag returns the request tag for accounting.
@@ -206,6 +241,29 @@ func (z *zoneState) allocAt(t time.Time) datacenter.Vector {
 		}
 	}
 	return sum
+}
+
+// backOff schedules zone z's next acquisition attempt after an
+// injected rejection at tick t: 1, 2, 4, then 8 ticks out, capped.
+func backOff(z *zoneState, t int) {
+	if z.retries < maxRetryExp {
+		z.retries++
+	}
+	backoff := 1 << (z.retries - 1)
+	if backoff > maxBackoffTicks {
+		backoff = maxBackoffTicks
+	}
+	z.retryAt = t + backoff
+}
+
+// containsName reports whether the tiny name list holds name.
+func containsName(list []string, name string) bool {
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // sanitizePrediction guards the simulation against misbehaving
@@ -272,12 +330,32 @@ func Run(cfg Config) (*Result, error) {
 	if samples < 2 {
 		return nil, fmt.Errorf("core: need at least 2 samples")
 	}
+	centersByName := map[string]*datacenter.Center{}
+	for _, c := range cfg.Centers {
+		centersByName[c.Name] = c
+	}
 	for _, f := range cfg.Failures {
 		if f.AtTick < 0 {
 			return nil, fmt.Errorf("core: failure of %q at negative tick %d", f.Center, f.AtTick)
 		}
 		if f.DurationTicks < 1 {
 			return nil, fmt.Errorf("core: failure of %q needs DurationTicks >= 1, got %d", f.Center, f.DurationTicks)
+		}
+		if centersByName[f.Center] == nil {
+			return nil, fmt.Errorf("core: failure names unknown center %q", f.Center)
+		}
+	}
+	var plan *faults.Plan
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if cfg.Faults.Enabled() {
+			names := make([]string, len(cfg.Centers))
+			for i, c := range cfg.Centers {
+				names[i] = c.Name
+			}
+			plan = faults.NewPlan(*cfg.Faults, names, samples)
 		}
 	}
 
@@ -294,9 +372,22 @@ func Run(cfg Config) (*Result, error) {
 			}
 			z.staticAlloc = demandVector(z.game, peak)
 		}
+		// With centers configured, each static fleet lives in a home
+		// center (round-robin) and darkens with its outages — the
+		// dedicated-infrastructure counterpart of the resilience
+		// sweep, where dynamic provisioning fails over but a static
+		// deployment cannot.
+		if len(cfg.Centers) > 0 {
+			for _, z := range zones {
+				z.home = cfg.Centers[z.idx%len(cfg.Centers)]
+			}
+		}
 	}
 
 	matcher := ecosystem.NewMatcher(cfg.Centers)
+	if plan != nil {
+		matcher.SetFaultInjector(plan)
+	}
 	res := &Result{CenterStats: map[string]*CenterStats{}}
 	if cfg.TrackCenters {
 		for _, c := range cfg.Centers {
@@ -339,28 +430,65 @@ func Run(cfg Config) (*Result, error) {
 	defer pool.Close()
 	partials := make([]zonePartial, len(zones))
 
-	centersByName := map[string]*datacenter.Center{}
-	for _, c := range cfg.Centers {
-		centersByName[c.Name] = c
-	}
+	resil := &Resilience{Availability: map[string]float64{}}
+	res.Resilience = resil
+	tracker := newOutageTracker(cfg.Centers, resil)
 
-	// applyFailures fires the scheduled outages and recoveries due at
-	// tick t: the capacity vanishes, the operator notices through its
-	// lapsed leases. Tick-0 outages fire before the bootstrap acquire,
-	// so a center that is down from the start never hands out leases.
+	tagToZone := make(map[string]int, len(zones))
+	for _, z := range zones {
+		tagToZone[z.tag()] = z.idx
+	}
+	// lostCenters[i] names the centers that dropped zone i's leases at
+	// the current tick — the same-tick failover re-acquires from
+	// everywhere else.
+	lostCenters := make([][]string, len(zones))
+
+	// applyFailures fires the scheduled and injected outages and
+	// recoveries due at tick t: the capacity vanishes, the operator
+	// fails the lost leases over within the same tick. Tick-0 outages
+	// fire before the bootstrap acquire, so a center that is down from
+	// the start never hands out leases. Recoveries apply first so
+	// windows meeting at one tick compose through the refcount.
 	applyFailures := func(t int) {
-		for _, f := range cfg.Failures {
-			c := centersByName[f.Center]
-			if c == nil {
-				continue
-			}
-			if t == f.AtTick {
-				c.Fail()
-			}
-			if t == f.AtTick+f.DurationTicks {
-				c.Recover()
+		for i := range lostCenters {
+			lostCenters[i] = lostCenters[i][:0]
+		}
+		noteLost := func(dropped []*datacenter.Lease, center string) {
+			for _, l := range dropped {
+				zi, ok := tagToZone[l.Tag]
+				if !ok {
+					continue
+				}
+				if !containsName(lostCenters[zi], center) {
+					lostCenters[zi] = append(lostCenters[zi], center)
+				}
 			}
 		}
+		for _, f := range cfg.Failures {
+			if t == f.AtTick+f.DurationTicks {
+				centersByName[f.Center].Recover()
+			}
+		}
+		for _, o := range plan.RecoveriesAt(t) {
+			if c := centersByName[o.Center]; o.Fraction >= 1 {
+				c.Recover()
+			} else {
+				c.Restore(o.Fraction)
+			}
+		}
+		for _, f := range cfg.Failures {
+			if t == f.AtTick {
+				noteLost(centersByName[f.Center].Fail(), f.Center)
+			}
+		}
+		for _, o := range plan.FailuresAt(t) {
+			if c := centersByName[o.Center]; o.Fraction >= 1 {
+				noteLost(c.Fail(), o.Center)
+			} else {
+				noteLost(c.Degrade(o.Fraction), o.Center)
+			}
+		}
+		tracker.observe(t)
 	}
 	applyFailures(0)
 
@@ -371,22 +499,40 @@ func Run(cfg Config) (*Result, error) {
 	if !cfg.Static {
 		pool.For(len(zones), func(i int) {
 			z := zones[i]
-			z.predictor.Observe(z.group.Load.At(0))
+			v := z.group.Load.At(0)
+			if plan.DropSample(z.idx, 0) || math.IsNaN(v) {
+				partials[i].dropped = true
+				v = z.lastObs
+			} else {
+				partials[i].dropped = false
+				z.lastObs = v
+			}
+			z.predictor.Observe(v)
 			predicted := sanitizePrediction(z.predictor.Predict())
 			partials[i].need = demandVector(z.game, predicted*(1+cfg.SafetyMargin))
 		})
+		for _, z := range zones {
+			if partials[z.idx].dropped {
+				resil.DroppedSamples++
+			}
+		}
 		for _, z := range acquireOrder {
 			want := partials[z.idx].need
 			if want.IsZero() {
 				continue
 			}
-			leases, _ := matcher.Allocate(ecosystem.Request{
+			leases, unmet, out := matcher.AllocateDetailed(ecosystem.Request{
 				Tag:           z.tag(),
 				Origin:        z.region.Location,
 				MaxDistanceKm: z.game.LatencyKm,
 				Demand:        want,
 			}, start)
 			z.leases = append(z.leases, leases...)
+			resil.Rejections += out.Rejections
+			resil.PartialGrants += out.PartialGrants
+			if out.Rejections > 0 && !unmet.IsZero() {
+				backOff(z, 0)
+			}
 		}
 	}
 
@@ -401,23 +547,45 @@ func Run(cfg Config) (*Result, error) {
 		// Phase 1 (parallel per-zone): score the allocation in force
 		// against the actual demand, observe the new sample, and size
 		// the request closing the gap to the predicted next demand.
+		// Monitoring dropouts are decided by a stateless hash of
+		// (seed, zone, tick), so parallel workers never contend on a
+		// random stream.
 		pool.For(len(zones), func(i int) {
 			z := zones[i]
 			pt := &partials[i]
 			if cfg.Static {
 				pt.alloc = z.staticAlloc
+				if z.home != nil {
+					pt.alloc = z.staticAlloc.Scale(z.home.AvailableFraction())
+				}
 			} else {
 				pt.alloc = z.activeAlloc(now)
 			}
-			pt.load = demandVector(z.game, z.group.Load.At(t))
+			raw := z.group.Load.At(t)
+			loadVal := raw
+			if plan.DropSample(z.idx, t) || math.IsNaN(raw) {
+				pt.dropped = true
+				if math.IsNaN(raw) {
+					// The sample is missing from the trace itself; the
+					// carried-forward observation is the best load
+					// estimate available for scoring.
+					loadVal = z.lastObs
+				}
+			} else {
+				pt.dropped = false
+				z.lastObs = raw
+			}
+			pt.load = demandVector(z.game, loadVal)
 			pt.need = datacenter.Vector{}
 			if cfg.Static || final {
 				return
 			}
-			// Observe tick t, predict tick t+1. The request is sized
-			// against the allocation surviving to the next scoring
-			// instant, so leases renew before they lapse.
-			z.predictor.Observe(z.group.Load.At(t))
+			// Observe tick t (the last sample that arrived — dropouts
+			// carry the previous observation forward so the predictor
+			// state never ingests a hole), predict tick t+1. The
+			// request is sized against the allocation surviving to the
+			// next scoring instant, so leases renew before they lapse.
+			z.predictor.Observe(z.lastObs)
 			predicted := sanitizePrediction(z.predictor.Predict())
 			want := demandVector(z.game, predicted*(1+cfg.SafetyMargin))
 			have := z.allocAt(now.Add(tick))
@@ -430,6 +598,9 @@ func Run(cfg Config) (*Result, error) {
 		var alloc, load [datacenter.NumResources]float64
 		var shortfall [datacenter.NumResources]float64
 		for _, z := range zones {
+			if partials[z.idx].dropped {
+				resil.DroppedSamples++
+			}
 			a, l := partials[z.idx].alloc, partials[z.idx].load
 			for r := 0; r < int(datacenter.NumResources); r++ {
 				alloc[r] += a[r]
@@ -465,6 +636,7 @@ func Run(cfg Config) (*Result, error) {
 		if event {
 			res.Events++
 		}
+		tracker.serviceHealthy(t, !event)
 		res.CumEvents = append(res.CumEvents, res.Events)
 		if load[datacenter.CPU] > 0 {
 			res.OverPct = append(res.OverPct, (alloc[datacenter.CPU]/load[datacenter.CPU]-1)*100)
@@ -510,20 +682,49 @@ func Run(cfg Config) (*Result, error) {
 
 		// Phase 3 (sequential acquire): lease the per-zone gaps, in
 		// submission/priority order — capacity contention resolves
-		// exactly as in the sequential engine.
+		// exactly as in the sequential engine. The gap of a zone whose
+		// leases died with a failed center this tick already includes
+		// the loss, so the same acquisition doubles as the failover
+		// re-acquisition — excluding the centers that dropped it.
 		anyUnmet := false
 		for _, z := range acquireOrder {
+			lost := lostCenters[z.idx]
 			need := partials[z.idx].need
+			if len(lost) == 0 && t < z.retryAt {
+				// Backed off after injected rejections: don't hammer
+				// the ecosystem; the demand goes unserved this tick. A
+				// failover overrides the backoff — lost capacity is
+				// urgent.
+				if !need.IsZero() {
+					anyUnmet = true
+				}
+				continue
+			}
 			if need.IsZero() {
 				continue
 			}
-			leases, unmet := matcher.Allocate(ecosystem.Request{
+			if z.retries > 0 {
+				resil.Retries++
+			}
+			leases, unmet, out := matcher.AllocateDetailed(ecosystem.Request{
 				Tag:           z.tag(),
 				Origin:        z.region.Location,
 				MaxDistanceKm: z.game.LatencyKm,
 				Demand:        need,
+				Exclude:       lost,
 			}, now)
 			z.leases = append(z.leases, leases...)
+			resil.Rejections += out.Rejections
+			resil.PartialGrants += out.PartialGrants
+			if len(lost) > 0 {
+				resil.Failovers++
+				resil.FailoverLeases += len(leases)
+			}
+			if out.Rejections > 0 && !unmet.IsZero() {
+				backOff(z, t)
+			} else {
+				z.retries = 0
+			}
 			if !unmet.IsZero() {
 				anyUnmet = true
 			}
@@ -532,6 +733,7 @@ func Run(cfg Config) (*Result, error) {
 			res.Unmet++
 		}
 	}
+	tracker.finish(res.Ticks)
 
 	res.AvgUnderByGame = map[string]float64{}
 	for _, w := range cfg.Workloads {

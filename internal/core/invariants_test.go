@@ -248,7 +248,11 @@ func TestFailureInjectionCausesAndHealsDisruption(t *testing.T) {
 	}
 }
 
-func TestFailureUnknownCenterIgnored(t *testing.T) {
+func TestFailureUnknownCenterRejected(t *testing.T) {
+	// A failure naming no configured center used to be silently
+	// skipped — a typo in a scenario file meant the outage never
+	// happened. It is a configuration error like the other Failures
+	// checks.
 	ds := syntheticDataset(2, 50, 900)
 	_, err := Run(Config{
 		Centers:  fineCenters(10),
@@ -257,7 +261,7 @@ func TestFailureUnknownCenterIgnored(t *testing.T) {
 			Game: testGame(), Dataset: ds, Predictor: predict.NewLastValue(),
 		}},
 	})
-	if err != nil {
-		t.Fatal(err)
+	if err == nil {
+		t.Fatal("failure naming an unknown center should be a config error")
 	}
 }

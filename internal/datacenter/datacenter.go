@@ -218,7 +218,15 @@ type Center struct {
 	// watermark is the latest time the center has observed (via Lease
 	// or Expire); reservations must start at or after it.
 	watermark time.Time
-	offline   bool
+	// failDepth refcounts overlapping full-outage windows: the center
+	// is offline while failDepth > 0, and a window's recovery never
+	// revives a center still inside another window.
+	failDepth int
+	// degraded is the raw sum of the machine fractions lost to the
+	// currently open partial-degradation windows. It may exceed 1
+	// transiently (overlapping degradations); the effective capacity
+	// clamps it.
+	degraded float64
 }
 
 // NewCenter builds a center with capacity Machines x PerMachineCapacity.
@@ -238,9 +246,36 @@ func (c *Center) Capacity() Vector { return c.capacity }
 // Allocated returns the currently reserved resources.
 func (c *Center) Allocated() Vector { return c.allocated }
 
-// Free returns the currently available resources.
+// AvailableFraction is the share of the center's machines currently
+// healthy: 0 while offline, 1−degraded under partial degradation.
+func (c *Center) AvailableFraction() float64 {
+	if c.failDepth > 0 {
+		return 0
+	}
+	d := c.degraded
+	if d > 1 {
+		d = 1
+	}
+	if d < 0 {
+		d = 0
+	}
+	return 1 - d
+}
+
+// EffectiveCapacity is the capacity the surviving machines provide:
+// the nominal capacity scaled by AvailableFraction.
+func (c *Center) EffectiveCapacity() Vector {
+	f := c.AvailableFraction()
+	if f >= 1 {
+		return c.capacity
+	}
+	return c.capacity.Scale(f)
+}
+
+// Free returns the currently available resources on the surviving
+// machines.
 func (c *Center) Free() Vector {
-	return c.capacity.Sub(c.allocated).ClampNonNegative()
+	return c.EffectiveCapacity().Sub(c.allocated).ClampNonNegative()
 }
 
 // Expire releases every lease that has ended by time t, activates
@@ -268,6 +303,11 @@ func (c *Center) Expire(t time.Time) int {
 		// zero by definition, not 1e-16.
 		c.allocated = Vector{}
 	}
+	if c.degraded > 0 {
+		// An activated reservation may not fit the degraded capacity
+		// its window was admitted against.
+		c.shedToFit()
+	}
 	return n
 }
 
@@ -279,28 +319,87 @@ var ErrOffline = fmt.Errorf("datacenter: center offline")
 
 // Fail takes the center offline: every live lease and pending
 // reservation is lost immediately (the machines are gone, not merely
-// full), and new requests are rejected until Recover. It returns the
-// number of leases and reservations dropped.
-func (c *Center) Fail() int {
-	n := len(c.leases) + len(c.reserved)
+// full), and new requests are rejected until the center is back. Fail
+// is refcounted so overlapping fault windows compose — the center
+// recovers only after a matching number of Recover calls. It returns
+// the leases and reservations dropped (empty for nested failures,
+// whose machines are already gone), so callers can fail the lost
+// capacity over to other centers.
+func (c *Center) Fail() []*Lease {
+	c.failDepth++
+	if c.failDepth > 1 {
+		return nil
+	}
+	dropped := make([]*Lease, 0, len(c.leases)+len(c.reserved))
 	for _, l := range c.leases {
 		l.released = true
+		dropped = append(dropped, l)
 	}
 	for _, l := range c.reserved {
 		l.released = true
+		dropped = append(dropped, l)
 	}
 	c.leases = c.leases[:0]
 	c.reserved = c.reserved[:0]
 	c.allocated = Vector{}
-	c.offline = true
-	return n
+	return dropped
 }
 
-// Recover brings a failed center back online with empty machines.
-func (c *Center) Recover() { c.offline = false }
+// Recover undoes one Fail. The center comes back online (with empty
+// machines) only when every open failure window has recovered.
+func (c *Center) Recover() {
+	if c.failDepth > 0 {
+		c.failDepth--
+	}
+}
 
-// Offline reports whether the center is failed.
-func (c *Center) Offline() bool { return c.offline }
+// Offline reports whether the center is inside at least one full
+// outage window.
+func (c *Center) Offline() bool { return c.failDepth > 0 }
+
+// Degrade removes frac of the center's machines — a partial outage:
+// the center keeps serving on what survives. Overlapping degradations
+// compose additively (each Restore gives back exactly what its
+// Degrade took). Leases no longer fitting the shrunk capacity are
+// shed, newest first, and returned so the caller can re-acquire them
+// elsewhere.
+func (c *Center) Degrade(frac float64) []*Lease {
+	if frac < 0 {
+		frac = 0
+	}
+	c.degraded += frac
+	return c.shedToFit()
+}
+
+// Restore gives back the machines a Degrade(frac) took.
+func (c *Center) Restore(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	c.degraded -= frac
+	if c.degraded < 1e-12 {
+		// Snap float residue: fully restored means fully restored.
+		c.degraded = 0
+	}
+}
+
+// shedToFit drops live leases, newest first, until the allocation
+// fits the effective capacity, and returns the dropped leases.
+func (c *Center) shedToFit() []*Lease {
+	var dropped []*Lease
+	eff := c.EffectiveCapacity()
+	for len(c.leases) > 0 && !c.allocated.FitsWithin(eff) {
+		l := c.leases[len(c.leases)-1]
+		c.leases = c.leases[:len(c.leases)-1]
+		l.released = true
+		c.allocated = c.allocated.Sub(l.Alloc).ClampNonNegative()
+		dropped = append(dropped, l)
+	}
+	if len(c.leases) == 0 {
+		c.allocated = Vector{}
+	}
+	return dropped
+}
 
 // Lease reserves the request (rounded up to the policy's bulks) from
 // time now for at least the policy's time bulk. It fails with
@@ -311,7 +410,7 @@ func (c *Center) Lease(req Vector, now time.Time, tag string) (*Lease, error) {
 	if now.After(c.watermark) {
 		c.watermark = now
 	}
-	if c.offline {
+	if c.Offline() {
 		return nil, ErrOffline
 	}
 	rounded := c.Policy.RoundUp(req)
@@ -325,9 +424,10 @@ func (c *Center) Lease(req Vector, now time.Time, tag string) (*Lease, error) {
 		}
 	} else {
 		// Reservations may begin inside this lease's window; admit
-		// only if the window's peak stays within capacity.
+		// only if the window's peak stays within the effective
+		// (degradation-adjusted) capacity.
 		peak := c.maxUsageDuring(now, now.Add(c.Policy.TimeBulk))
-		if !rounded.Add(peak).FitsWithin(c.capacity) {
+		if !rounded.Add(peak).FitsWithin(c.EffectiveCapacity()) {
 			return nil, ErrInsufficient
 		}
 	}

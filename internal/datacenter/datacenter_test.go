@@ -332,8 +332,8 @@ func TestFailAndRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 	dropped := c.Fail()
-	if dropped != 2 {
-		t.Fatalf("dropped = %d, want lease + reservation", dropped)
+	if len(dropped) != 2 {
+		t.Fatalf("dropped = %d, want lease + reservation", len(dropped))
 	}
 	if l.Active(t0.Add(time.Minute)) {
 		t.Fatal("lease survived the failure")
@@ -356,5 +356,141 @@ func TestFailAndRecover(t *testing.T) {
 	}
 	if _, err := c.Lease(req, t0.Add(2*time.Minute), "z"); err != nil {
 		t.Fatalf("post-recovery lease failed: %v", err)
+	}
+}
+
+func TestOverlappingFailuresRefcounted(t *testing.T) {
+	// Two overlapping failure windows: the center must stay offline
+	// until BOTH have recovered. Before refcounting, the first Recover
+	// flipped the center back online mid-outage.
+	c := NewCenter("dc", geo.London, 4, testPolicy())
+	var req Vector
+	req[CPU] = 0.5
+	if _, err := c.Lease(req, t0, "z"); err != nil {
+		t.Fatal(err)
+	}
+	dropped := c.Fail()
+	if len(dropped) != 1 {
+		t.Fatalf("first failure dropped %d leases, want 1", len(dropped))
+	}
+	if nested := c.Fail(); nested != nil {
+		t.Fatalf("nested failure dropped %d leases, want none (already dark)", len(nested))
+	}
+	c.Recover()
+	if !c.Offline() {
+		t.Fatal("center revived while the outer failure window is still open")
+	}
+	if c.AvailableFraction() != 0 {
+		t.Fatalf("offline center reports %v available", c.AvailableFraction())
+	}
+	c.Recover()
+	if c.Offline() {
+		t.Fatal("center still offline after both windows recovered")
+	}
+	// A stray Recover on a healthy center must not underflow.
+	c.Recover()
+	if c.Offline() {
+		t.Fatal("extra Recover corrupted the failure state")
+	}
+}
+
+func TestDegradeShedsNewestFirst(t *testing.T) {
+	c := NewCenter("dc", geo.London, 4, testPolicy())
+	var req Vector
+	req[CPU] = 1.0
+	old, err := c.Lease(req, t0, "old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := c.Lease(req, t0, "mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest, err := c.Lease(req, t0, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Losing half the machines leaves room for only two leases: the
+	// newest is shed, the older two survive.
+	shed := c.Degrade(0.5)
+	if len(shed) != 1 || shed[0] != newest {
+		t.Fatalf("degrade shed %d leases, want the newest only", len(shed))
+	}
+	if !old.Active(t0.Add(time.Minute)) || !mid.Active(t0.Add(time.Minute)) {
+		t.Fatal("degradation shed an older lease")
+	}
+	if got := c.AvailableFraction(); got != 0.5 {
+		t.Fatalf("available fraction = %v, want 0.5", got)
+	}
+	if got := c.EffectiveCapacity()[CPU]; got != 2 {
+		t.Fatalf("effective capacity = %v, want 2", got)
+	}
+	for r, v := range c.Free() {
+		if v < 0 {
+			t.Fatalf("negative free %v for resource %v under degradation", v, Resource(r))
+		}
+	}
+	if !c.Allocated().FitsWithin(c.EffectiveCapacity()) {
+		t.Fatal("degraded center over-committed")
+	}
+	c.Restore(0.5)
+	if got := c.AvailableFraction(); got != 1 {
+		t.Fatalf("available fraction after restore = %v, want 1", got)
+	}
+	if got := c.Free()[CPU]; got != 2 {
+		t.Fatalf("free CPU after restore = %v, want 2 (two leases still held)", got)
+	}
+}
+
+func TestDegradeComposes(t *testing.T) {
+	c := NewCenter("dc", geo.London, 10, testPolicy())
+	c.Degrade(0.3)
+	c.Degrade(0.3)
+	if got := c.AvailableFraction(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("stacked degradations: available = %v, want 0.4", got)
+	}
+	c.Restore(0.3)
+	if got := c.AvailableFraction(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("after first restore: available = %v, want 0.7", got)
+	}
+	c.Restore(0.3)
+	if got := c.AvailableFraction(); got != 1 {
+		t.Fatalf("after full restore: available = %v, want exactly 1", got)
+	}
+
+	// Raw-sum semantics: stacked degradations may exceed the whole
+	// center; each Restore gives back exactly what its Degrade took.
+	c.Degrade(0.8)
+	c.Degrade(0.8)
+	if got := c.AvailableFraction(); got != 0 {
+		t.Fatalf("over-degraded center: available = %v, want 0", got)
+	}
+	c.Restore(0.8)
+	if got := c.AvailableFraction(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("partial restore of over-degraded center: available = %v, want 0.2", got)
+	}
+	c.Restore(0.8)
+	if got := c.AvailableFraction(); got != 1 {
+		t.Fatalf("final restore: available = %v, want exactly 1", got)
+	}
+}
+
+func TestFailDominatesDegrade(t *testing.T) {
+	c := NewCenter("dc", geo.London, 4, testPolicy())
+	c.Degrade(0.25)
+	c.Fail()
+	if got := c.AvailableFraction(); got != 0 {
+		t.Fatalf("failed center reports %v available", got)
+	}
+	if !c.EffectiveCapacity().IsZero() {
+		t.Fatalf("failed center reports effective capacity %v", c.EffectiveCapacity())
+	}
+	c.Recover()
+	if got := c.AvailableFraction(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("recovered center: available = %v, want the standing degradation 0.75", got)
+	}
+	c.Restore(0.25)
+	if got := c.AvailableFraction(); got != 1 {
+		t.Fatalf("fully restored: available = %v", got)
 	}
 }

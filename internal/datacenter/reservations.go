@@ -22,7 +22,7 @@ var ErrPastWindow = fmt.Errorf("datacenter: reservation window already started")
 // time like any lease. It fails with ErrInsufficient when the window's
 // peak usage would exceed capacity.
 func (c *Center) Reserve(req Vector, start time.Time, tag string) (*Lease, error) {
-	if c.offline {
+	if c.Offline() {
 		return nil, ErrOffline
 	}
 	if start.Before(c.watermark) {
@@ -34,7 +34,7 @@ func (c *Center) Reserve(req Vector, start time.Time, tag string) (*Lease, error
 	}
 	end := start.Add(c.Policy.TimeBulk)
 	peak := c.maxUsageDuring(start, end)
-	if !rounded.Add(peak).FitsWithin(c.capacity) {
+	if !rounded.Add(peak).FitsWithin(c.EffectiveCapacity()) {
 		return nil, ErrInsufficient
 	}
 	l := &Lease{

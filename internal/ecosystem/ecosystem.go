@@ -33,12 +33,39 @@ type Request struct {
 	MaxDistanceKm float64
 	// Demand is the resources needed, in abstract units.
 	Demand datacenter.Vector
+	// Exclude lists center names the matcher must skip for this
+	// request. The failover path uses it so a zone re-acquiring
+	// capacity lost to a failed or degraded center does not lease
+	// right back from the center that just dropped it.
+	Exclude []string
+}
+
+// GrantFaults injects hoster-side failures into the matching: before
+// each grant attempt the matcher asks the injector whether the center
+// rejects the request outright or trims it to a fraction. Injectors
+// must be deterministic for a deterministic attempt sequence (see
+// faults.Plan, the canonical implementation).
+type GrantFaults interface {
+	GrantFault(center string) (reject bool, frac float64)
+}
+
+// Outcome reports what fault injection did to one Allocate call.
+type Outcome struct {
+	// Rejections counts center grants vetoed by the injector.
+	Rejections int
+	// PartialGrants counts grants the injector trimmed.
+	PartialGrants int
 }
 
 // Matcher allocates requests across a set of data centers.
 type Matcher struct {
 	centers []*datacenter.Center
+	faults  GrantFaults
 }
+
+// SetFaultInjector installs (or, with nil, removes) the grant-fault
+// injector consulted on every subsequent grant attempt.
+func (m *Matcher) SetFaultInjector(f GrantFaults) { m.faults = f }
 
 // NewMatcher returns a matcher over the centers.
 func NewMatcher(centers []*datacenter.Center) *Matcher {
@@ -72,13 +99,25 @@ type candidate struct {
 // as much of the remaining demand as its free capacity allows (in
 // whole bulks), and the remainder spills to the next candidate.
 func (m *Matcher) Allocate(req Request, now time.Time) ([]*datacenter.Lease, datacenter.Vector) {
+	leases, unmet, _ := m.AllocateDetailed(req, now)
+	return leases, unmet
+}
+
+// AllocateDetailed is Allocate plus the fault-injection outcome —
+// callers implementing retry/backoff need to distinguish an injected
+// rejection (worth retrying later) from genuine capacity exhaustion.
+func (m *Matcher) AllocateDetailed(req Request, now time.Time) ([]*datacenter.Lease, datacenter.Vector, Outcome) {
+	var out Outcome
 	remaining := req.Demand.ClampNonNegative()
 	if remaining.IsZero() {
-		return nil, datacenter.Vector{}
+		return nil, datacenter.Vector{}, out
 	}
 
 	cands := make([]candidate, 0, len(m.centers))
 	for _, c := range m.centers {
+		if excluded(req.Exclude, c.Name) {
+			continue
+		}
 		d := geo.DistanceKm(req.Origin, c.Location)
 		if d <= req.MaxDistanceKm {
 			cands = append(cands, candidate{center: c, distKm: d})
@@ -111,6 +150,23 @@ func (m *Matcher) Allocate(req Request, now time.Time) ([]*datacenter.Lease, dat
 		if grant.IsZero() {
 			continue
 		}
+		if m.faults != nil {
+			// The injector is consulted only for attempts that would
+			// actually lease, so the fault stream's consumption is a
+			// pure function of the (deterministic) matching walk.
+			reject, frac := m.faults.GrantFault(c.Name)
+			if reject {
+				out.Rejections++
+				continue
+			}
+			if frac < 1 {
+				out.PartialGrants++
+				grant = fitToFree(c, grant.Scale(frac))
+				if grant.IsZero() {
+					continue
+				}
+			}
+		}
 		l, err := c.Lease(grant, now, req.Tag)
 		if err != nil {
 			continue
@@ -118,7 +174,18 @@ func (m *Matcher) Allocate(req Request, now time.Time) ([]*datacenter.Lease, dat
 		leases = append(leases, l)
 		remaining = remaining.Sub(l.Alloc).ClampNonNegative()
 	}
-	return leases, remaining
+	return leases, remaining, out
+}
+
+// excluded reports whether name is on the request's exclusion list
+// (lists are tiny — a linear scan beats a map allocation per call).
+func excluded(list []string, name string) bool {
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // fitToFree trims a demand so its bulk-rounded form fits the center's

@@ -36,6 +36,8 @@ func Extensions() []Spec {
 			Title: "Data-center outage injection and recovery", Run: Ext08Failure},
 		{ID: "ext09", Artifact: "Forecast horizon",
 			Title: "Multi-step-ahead forecast accuracy by predictor", Run: Ext09Horizon},
+		{ID: "ext10", Artifact: "Resilience",
+			Title: "Stochastic fault injection: dynamic vs static degradation", Run: Ext10Resilience},
 	}
 }
 

@@ -11,7 +11,7 @@ func TestExtensionsRegistered(t *testing.T) {
 	if len(all) != len(Registry())+len(Extensions()) {
 		t.Fatalf("All() has %d specs", len(all))
 	}
-	for _, id := range []string{"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07", "ext08", "ext09"} {
+	for _, id := range []string{"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07", "ext08", "ext09", "ext10"} {
 		if _, err := ByID(id); err != nil {
 			t.Errorf("extension %s not resolvable: %v", id, err)
 		}
@@ -137,5 +137,26 @@ func TestExt09Horizon(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("ext09 output missing %q", want)
 		}
+	}
+}
+
+func TestExt10Resilience(t *testing.T) {
+	out, err := Ext10Resilience(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"none", "rare", "frequent", "chaos",
+		"failovers", "events (dyn)", "events (static)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext10 output missing %q", want)
+		}
+	}
+	// The sweep is seeded: two runs must agree byte-for-byte.
+	again, err := Ext10Resilience(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Fatal("ext10 output not deterministic across runs")
 	}
 }

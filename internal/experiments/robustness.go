@@ -6,6 +6,7 @@ import (
 
 	"mmogdc/internal/core"
 	"mmogdc/internal/datacenter"
+	"mmogdc/internal/faults"
 	"mmogdc/internal/predict"
 	"mmogdc/internal/stats"
 )
@@ -123,6 +124,118 @@ func Ext08Failure(o Options) (string, error) {
 	fmt.Fprintf(&b, "~%d tick(s) (%d minutes of disrupted play); a static deployment inside the\n",
 		recovery, recovery*2)
 	fmt.Fprintf(&b, "failed center would have been dark for the full %d minutes.\n", outageTicks*2)
+	return b.String(), nil
+}
+
+// Ext10Resilience sweeps stochastic fault rates — MTBF/MTTR-driven
+// center outages plus grant rejections and monitoring dropouts — and
+// compares how dynamic and static provisioning degrade. Ext08 injects
+// one scheduled outage; this extension turns the full stochastic
+// injector on and raises the rate until the ecosystem is in constant
+// churn. A static fleet rides out every outage of its home centers at
+// full loss; the dynamic operator fails over within a tick and only
+// the ecosystem-wide capacity dips remain.
+func Ext10Resilience(o Options) (string, error) {
+	opts := o.withDefaults()
+	if !opts.Quick && opts.Days > 4 {
+		opts.Days = 4
+	}
+	ds := provisioningTrace(opts)
+	game := standardGame()
+	neural := neuralFactory(opts)
+	ticks := ds.Samples()
+
+	// Fault mixes scaled to the trace length: MTBF as a share of the
+	// run so quick mode still sees several outages per scenario.
+	scenarios := []struct {
+		name string
+		cfg  *faults.Config
+	}{
+		{"none", nil},
+		{"rare", &faults.Config{Seed: opts.Seed, MTBFTicks: float64(ticks) / 3,
+			MTTRTicks: 30, DegradedShare: 0.5}},
+		{"frequent", &faults.Config{Seed: opts.Seed, MTBFTicks: float64(ticks) / 8,
+			MTTRTicks: 30, DegradedShare: 0.5, RejectProb: 0.02, DropoutProb: 0.02}},
+		{"chaos", &faults.Config{Seed: opts.Seed, MTBFTicks: float64(ticks) / 20,
+			MTTRTicks: 30, DegradedShare: 0.5, RejectProb: 0.05,
+			PartialGrantProb: 0.05, DropoutProb: 0.05}},
+	}
+
+	type pair struct{ dyn, stat *core.Result }
+	results, err := parallelMap(len(scenarios), func(i int) (pair, error) {
+		dyn, err := core.Run(core.Config{
+			Centers:   optimalCenters(),
+			Faults:    scenarios[i].cfg,
+			Workloads: []core.Workload{{Game: game, Dataset: ds, Predictor: neural}},
+		})
+		if err != nil {
+			return pair{}, err
+		}
+		stat, err := core.Run(core.Config{
+			Static:    true,
+			Centers:   optimalCenters(),
+			Faults:    scenarios[i].cfg,
+			Workloads: []core.Workload{{Game: game, Dataset: ds}},
+		})
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{dyn: dyn, stat: stat}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+
+	meanAvail := func(r *core.Resilience) float64 {
+		if len(r.Availability) == 0 {
+			return 1
+		}
+		var sum float64
+		for _, v := range r.Availability {
+			sum += v
+		}
+		return sum / float64(len(r.Availability))
+	}
+
+	var b strings.Builder
+	b.WriteString("Extension 10 — resilience under stochastic fault injection\n")
+	fmt.Fprintf(&b, "(%d ticks; outages drawn per center from exp(MTBF)/exp(MTTR), seed %d)\n\n", ticks, opts.Seed)
+
+	var rows [][]string
+	for i, p := range results {
+		r := p.dyn.Resilience
+		rows = append(rows, []string{
+			scenarios[i].name,
+			fmt.Sprintf("%d (%d full)", r.Outages, r.FullOutages),
+			fmt.Sprintf("%.2f%%", meanAvail(r)*100),
+			f2(r.MeanTimeToRecoverTicks),
+			fmt.Sprintf("%d", r.Failovers),
+			fmt.Sprintf("%d", r.Retries),
+			fmt.Sprintf("%d", r.Rejections),
+			fmt.Sprintf("%d", r.DroppedSamples),
+		})
+	}
+	b.WriteString(table([]string{"faults", "outages", "avail", "svc MTTR [ticks]",
+		"failovers", "retries", "rejections", "dropped"}, rows))
+
+	b.WriteString("\nDynamic vs static under the same fault plans:\n\n")
+	rows = rows[:0]
+	for i, p := range results {
+		rows = append(rows, []string{
+			scenarios[i].name,
+			fmt.Sprintf("%d", p.dyn.Events),
+			f3(p.dyn.AvgUnderPct[datacenter.CPU]),
+			fmt.Sprintf("%d", p.stat.Events),
+			f3(p.stat.AvgUnderPct[datacenter.CPU]),
+		})
+	}
+	b.WriteString(table([]string{"faults", "events (dyn)", "under [%] (dyn)",
+		"events (static)", "under [%] (static)"}, rows))
+	b.WriteString("\nThe dynamic operator re-leases lost capacity the same tick a center dies,\n")
+	b.WriteString("so its disruption grows with the ecosystem-wide capacity actually missing;\n")
+	b.WriteString("the static fleet loses its home center's full share for the whole outage\n")
+	b.WriteString("and its events climb steeply with the fault rate — the resilience argument\n")
+	b.WriteString("for renting from many hosters instead of owning one room of machines.\n")
 	return b.String(), nil
 }
 

@@ -1,0 +1,223 @@
+// Package faults implements the seeded, deterministic stochastic
+// fault injector of the resilience experiments. The paper collected
+// its traces from a live ecosystem that was anything but clean —
+// centers disappear, monitoring samples go missing, hosters refuse or
+// trim requests — and Section VI studies over-provisioning precisely
+// because of that churn. This package turns those messy realities into
+// a reproducible fault plan:
+//
+//   - center outages drawn from MTBF/MTTR exponential distributions,
+//     either full (the center goes dark) or partial (it loses a
+//     fraction of its machines but keeps serving);
+//   - lease-grant rejections and partial grants with configurable
+//     probabilities (a hoster vetoing or trimming an otherwise
+//     admissible request);
+//   - monitoring dropouts: per-zone load samples that never arrive,
+//     as in the real RuneScape website scrape.
+//
+// Everything is pre-generated or derived from pure functions of the
+// seed, so a fault-injected simulation is bit-identical for any
+// worker count: the outage schedule is fixed before the run starts,
+// dropout decisions are a stateless hash of (seed, zone, tick), and
+// grant faults consume a dedicated sequential stream driven only by
+// the (deterministic) sequence of grant attempts.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"mmogdc/internal/xrand"
+)
+
+// Config parameterizes the injector. The zero value injects nothing.
+type Config struct {
+	// Seed drives every stochastic choice; the same seed reproduces
+	// the identical fault plan and grant-fault stream.
+	Seed uint64
+	// MTBFTicks is the mean number of healthy ticks between outages
+	// per center (exponentially distributed); 0 disables outages.
+	MTBFTicks float64
+	// MTTRTicks is the mean outage duration in ticks (exponentially
+	// distributed, minimum 1); defaults to 10 when outages are on.
+	MTTRTicks float64
+	// DegradedShare is the probability that an outage is partial — the
+	// center loses a uniform 10–90% of its machines instead of going
+	// fully dark. 0 makes every outage full.
+	DegradedShare float64
+	// RejectProb is the probability that one center's grant attempt is
+	// rejected outright during matching.
+	RejectProb float64
+	// PartialGrantProb is the probability that a non-rejected grant is
+	// trimmed to a uniform 25–75% of the attempted amount.
+	PartialGrantProb float64
+	// DropoutProb is the probability that one zone's monitoring sample
+	// is missing at one tick (the operator must carry the last
+	// observation forward).
+	DropoutProb float64
+}
+
+// Enabled reports whether the configuration injects anything at all.
+func (c Config) Enabled() bool {
+	return c.MTBFTicks > 0 || c.RejectProb > 0 || c.PartialGrantProb > 0 || c.DropoutProb > 0
+}
+
+// Validate rejects configurations outside the model's domain.
+func (c Config) Validate() error {
+	if c.MTBFTicks < 0 || c.MTTRTicks < 0 {
+		return fmt.Errorf("faults: MTBF/MTTR must be >= 0 (got %v/%v)", c.MTBFTicks, c.MTTRTicks)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DegradedShare", c.DegradedShare},
+		{"RejectProb", c.RejectProb},
+		{"PartialGrantProb", c.PartialGrantProb},
+		{"DropoutProb", c.DropoutProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s must be in [0,1], got %v", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// Outage is one fault window of a center: Fail (or Degrade) fires at
+// Start, the matching Recover (or Restore) at End. End is always
+// clamped inside the run, so every generated outage recovers before
+// the simulation finishes.
+type Outage struct {
+	// Center is the affected center's name.
+	Center string
+	// Start and End delimit the window in ticks: [Start, End).
+	Start, End int
+	// Fraction is the share of the center's machines lost: 1 is a full
+	// outage, anything below is a partial capacity degradation.
+	Fraction float64
+}
+
+// Plan is the pre-generated fault schedule of one run plus the
+// sequential grant-fault stream. A nil *Plan is valid and injects
+// nothing, so callers can thread it unconditionally.
+type Plan struct {
+	cfg       Config
+	outages   []Outage
+	failAt    map[int][]Outage
+	recoverAt map[int][]Outage
+	grants    *xrand.Rand
+	dropSeed  uint64
+}
+
+// NewPlan generates the fault schedule for a run of the given length
+// over the named centers. The schedule is a pure function of the
+// configuration, the center order, and ticks. Call Validate first;
+// NewPlan assumes a valid configuration.
+func NewPlan(cfg Config, centers []string, ticks int) *Plan {
+	if cfg.MTBFTicks > 0 && cfg.MTTRTicks <= 0 {
+		cfg.MTTRTicks = 10
+	}
+	root := xrand.New(cfg.Seed ^ 0x6fa17a1c5eed5a1d)
+	p := &Plan{
+		cfg:       cfg,
+		failAt:    map[int][]Outage{},
+		recoverAt: map[int][]Outage{},
+		grants:    root.Split(0x67a47),
+		dropSeed:  root.Split(0xd0b0).Uint64(),
+	}
+	if cfg.MTBFTicks > 0 {
+		for i, name := range centers {
+			r := root.Split(uint64(i) + 1)
+			t := 0
+			for {
+				start := t + 1 + int(r.Exp(cfg.MTBFTicks))
+				if start >= ticks-1 {
+					break
+				}
+				end := start + 1 + int(r.Exp(cfg.MTTRTicks))
+				if end > ticks-1 {
+					end = ticks - 1
+				}
+				frac := 1.0
+				if r.Bool(cfg.DegradedShare) {
+					frac = 0.1 + 0.8*r.Float64()
+				}
+				p.outages = append(p.outages, Outage{Center: name, Start: start, End: end, Fraction: frac})
+				t = end
+			}
+		}
+	}
+	sort.Slice(p.outages, func(i, j int) bool {
+		a, b := p.outages[i], p.outages[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Center < b.Center
+	})
+	for _, o := range p.outages {
+		p.failAt[o.Start] = append(p.failAt[o.Start], o)
+		p.recoverAt[o.End] = append(p.recoverAt[o.End], o)
+	}
+	return p
+}
+
+// Outages returns the full schedule, ordered by start tick.
+func (p *Plan) Outages() []Outage {
+	if p == nil {
+		return nil
+	}
+	return p.outages
+}
+
+// FailuresAt returns the outages beginning at tick t.
+func (p *Plan) FailuresAt(t int) []Outage {
+	if p == nil {
+		return nil
+	}
+	return p.failAt[t]
+}
+
+// RecoveriesAt returns the outages ending at tick t.
+func (p *Plan) RecoveriesAt(t int) []Outage {
+	if p == nil {
+		return nil
+	}
+	return p.recoverAt[t]
+}
+
+// DropSample reports whether zone's monitoring sample at tick is
+// missing. It is a pure function of (seed, zone, tick) — safe to call
+// from parallel per-zone workers in any order without perturbing any
+// stream.
+func (p *Plan) DropSample(zone, tick int) bool {
+	if p == nil || p.cfg.DropoutProb <= 0 {
+		return false
+	}
+	h := p.dropSeed
+	h ^= uint64(zone)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	h ^= uint64(tick) * 0xbf58476d1ce4e5b9
+	// SplitMix64 finalizer: full avalanche so neighbouring
+	// (zone, tick) pairs decorrelate.
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11)/(1<<53) < p.cfg.DropoutProb
+}
+
+// GrantFault decides the fate of one grant attempt at the named
+// center: rejected outright, trimmed to frac of the attempt, or
+// untouched (frac 1). It consumes the plan's sequential grant stream,
+// so the caller must issue attempts in a deterministic order (the
+// matching loop is sequential in both provisioning engines).
+func (p *Plan) GrantFault(center string) (reject bool, frac float64) {
+	if p == nil || (p.cfg.RejectProb <= 0 && p.cfg.PartialGrantProb <= 0) {
+		return false, 1
+	}
+	if p.grants.Bool(p.cfg.RejectProb) {
+		return true, 0
+	}
+	if p.grants.Bool(p.cfg.PartialGrantProb) {
+		return false, 0.25 + 0.5*p.grants.Float64()
+	}
+	return false, 1
+}

@@ -1,0 +1,219 @@
+package faults
+
+import (
+	"testing"
+)
+
+func chaosConfig(seed uint64) Config {
+	return Config{
+		Seed:             seed,
+		MTBFTicks:        40,
+		MTTRTicks:        15,
+		DegradedShare:    0.5,
+		RejectProb:       0.1,
+		PartialGrantProb: 0.1,
+		DropoutProb:      0.05,
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{MTBFTicks: -1},
+		{MTTRTicks: -1},
+		{DegradedShare: 1.5},
+		{RejectProb: -0.1},
+		{PartialGrantProb: 2},
+		{DropoutProb: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if err := chaosConfig(1).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config claims to inject")
+	}
+	for _, c := range []Config{
+		{MTBFTicks: 10},
+		{RejectProb: 0.1},
+		{PartialGrantProb: 0.1},
+		{DropoutProb: 0.1},
+	} {
+		if !c.Enabled() {
+			t.Errorf("config %+v claims disabled", c)
+		}
+	}
+}
+
+func TestPlanDeterministicForSeed(t *testing.T) {
+	centers := []string{"a", "b", "c"}
+	for seed := uint64(1); seed <= 10; seed++ {
+		p1 := NewPlan(chaosConfig(seed), centers, 720)
+		p2 := NewPlan(chaosConfig(seed), centers, 720)
+		o1, o2 := p1.Outages(), p2.Outages()
+		if len(o1) != len(o2) {
+			t.Fatalf("seed %d: outage counts differ (%d vs %d)", seed, len(o1), len(o2))
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("seed %d: outage %d differs: %+v vs %+v", seed, i, o1[i], o2[i])
+			}
+		}
+	}
+	// Different seeds should not reproduce the same schedule.
+	a := NewPlan(chaosConfig(1), centers, 720).Outages()
+	b := NewPlan(chaosConfig(2), centers, 720).Outages()
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(a) > 0 {
+		t.Fatal("seeds 1 and 2 generated identical non-empty schedules")
+	}
+}
+
+func TestOutagesWellFormedAndRecoverInRun(t *testing.T) {
+	centers := []string{"a", "b", "c", "d"}
+	const ticks = 500
+	for seed := uint64(1); seed <= 20; seed++ {
+		p := NewPlan(chaosConfig(seed), centers, ticks)
+		prev := -1
+		for _, o := range p.Outages() {
+			if o.Start < 1 || o.Start >= ticks-1 {
+				t.Fatalf("seed %d: outage starts at %d outside (0, %d)", seed, o.Start, ticks-1)
+			}
+			if o.End <= o.Start {
+				t.Fatalf("seed %d: outage [%d, %d) is empty", seed, o.Start, o.End)
+			}
+			if o.End > ticks-1 {
+				t.Fatalf("seed %d: outage ends at %d, after the last tick %d — it never recovers", seed, o.End, ticks-1)
+			}
+			if o.Fraction <= 0 || o.Fraction > 1 {
+				t.Fatalf("seed %d: outage fraction %v outside (0, 1]", seed, o.Fraction)
+			}
+			if o.Start < prev {
+				t.Fatalf("seed %d: schedule not ordered by start tick", seed)
+			}
+			prev = o.Start
+		}
+	}
+}
+
+func TestOutagesPerCenterDoNotOverlap(t *testing.T) {
+	// The generator resumes each center's clock at the previous outage's
+	// end; overlap across centers is fine, within one center it is not.
+	p := NewPlan(chaosConfig(7), []string{"a", "b"}, 2000)
+	lastEnd := map[string]int{}
+	for _, o := range p.Outages() {
+		if o.Start < lastEnd[o.Center] {
+			t.Fatalf("center %s: outage at %d starts before previous end %d", o.Center, o.Start, lastEnd[o.Center])
+		}
+		if o.End > lastEnd[o.Center] {
+			lastEnd[o.Center] = o.End
+		}
+	}
+}
+
+func TestFailuresAtRecoveriesAtPartitionSchedule(t *testing.T) {
+	p := NewPlan(chaosConfig(3), []string{"a", "b", "c"}, 720)
+	fails, recovers := 0, 0
+	for t2 := 0; t2 < 720; t2++ {
+		fails += len(p.FailuresAt(t2))
+		recovers += len(p.RecoveriesAt(t2))
+	}
+	n := len(p.Outages())
+	if n == 0 {
+		t.Fatal("chaos config generated no outages over 720 ticks")
+	}
+	if fails != n || recovers != n {
+		t.Fatalf("schedule partition broken: %d outages, %d fail events, %d recover events", n, fails, recovers)
+	}
+}
+
+func TestDropSampleIsPureAndRateBounded(t *testing.T) {
+	p := NewPlan(Config{Seed: 9, DropoutProb: 0.1}, nil, 100)
+	drops := 0
+	const zones, ticks = 50, 400
+	for z := 0; z < zones; z++ {
+		for tick := 0; tick < ticks; tick++ {
+			a := p.DropSample(z, tick)
+			if a != p.DropSample(z, tick) {
+				t.Fatalf("DropSample(%d, %d) is not pure", z, tick)
+			}
+			if a {
+				drops++
+			}
+		}
+	}
+	rate := float64(drops) / (zones * ticks)
+	if rate < 0.05 || rate > 0.15 {
+		t.Fatalf("dropout rate %v far from configured 0.1", rate)
+	}
+	// Zero probability never drops.
+	none := NewPlan(Config{Seed: 9}, nil, 100)
+	for z := 0; z < 10; z++ {
+		for tick := 0; tick < 50; tick++ {
+			if none.DropSample(z, tick) {
+				t.Fatal("DropoutProb 0 dropped a sample")
+			}
+		}
+	}
+}
+
+func TestGrantFaultStreamDeterministic(t *testing.T) {
+	run := func() (rejects, partials int, fracs []float64) {
+		p := NewPlan(Config{Seed: 4, RejectProb: 0.2, PartialGrantProb: 0.3}, nil, 100)
+		for i := 0; i < 500; i++ {
+			rej, frac := p.GrantFault("dc")
+			if rej {
+				rejects++
+				continue
+			}
+			if frac < 1 {
+				partials++
+				if frac < 0.25 || frac > 0.75 {
+					t.Fatalf("partial grant fraction %v outside [0.25, 0.75]", frac)
+				}
+			}
+			fracs = append(fracs, frac)
+		}
+		return
+	}
+	r1, p1, f1 := run()
+	r2, p2, f2 := run()
+	if r1 != r2 || p1 != p2 || len(f1) != len(f2) {
+		t.Fatalf("grant streams diverged: %d/%d rejects, %d/%d partials", r1, r2, p1, p2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("grant fraction %d diverged: %v vs %v", i, f1[i], f2[i])
+		}
+	}
+	if r1 == 0 || p1 == 0 {
+		t.Fatalf("expected both rejects (%d) and partials (%d) over 500 attempts", r1, p1)
+	}
+}
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if p.Outages() != nil || p.FailuresAt(3) != nil || p.RecoveriesAt(3) != nil {
+		t.Fatal("nil plan returned outages")
+	}
+	if p.DropSample(0, 0) {
+		t.Fatal("nil plan dropped a sample")
+	}
+	if rej, frac := p.GrantFault("dc"); rej || frac != 1 {
+		t.Fatal("nil plan faulted a grant")
+	}
+}

@@ -12,6 +12,7 @@ package operator
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"mmogdc/internal/datacenter"
@@ -19,6 +20,13 @@ import (
 	"mmogdc/internal/geo"
 	"mmogdc/internal/mmog"
 	"mmogdc/internal/predict"
+)
+
+// Backoff policy after injected grant rejections, mirroring
+// internal/core: 1, 2, 4, then 8 ticks between attempts.
+const (
+	maxRetryExp     = 4
+	maxBackoffTicks = 8
 )
 
 // Config assembles an operator.
@@ -50,6 +58,20 @@ type Operator struct {
 	overTicks    int
 	events       int
 	lastForecast []float64
+	// lastLoads carries the last monitoring sample that arrived per
+	// zone; NaN samples are carried forward (LOCF) so a monitoring
+	// dropout never poisons the predictors.
+	lastLoads []float64
+	cleanBuf  []float64
+	// graceful-degradation accounting.
+	droppedSamples int
+	failovers      int
+	rejections     int
+	partialGrants  int
+	retries        int
+	// bounded backoff after injected rejections.
+	consecRejects int
+	retryAtTick   int
 }
 
 // New validates the configuration and returns an operator.
@@ -80,21 +102,57 @@ type Metrics struct {
 	// Events counts ticks whose shortfall exceeded 1% of the
 	// session's machines.
 	Events int
+	// DroppedSamples counts monitoring samples (NaN/invalid) carried
+	// forward instead of observed.
+	DroppedSamples int
+	// Failovers counts ticks that re-acquired capacity lost to a
+	// failed or degraded center, excluding that center from the retry.
+	Failovers int
+	// Rejections and PartialGrants count injected grant faults
+	// encountered; Retries the backed-off re-attempts they caused.
+	Rejections    int
+	PartialGrants int
+	Retries       int
 }
 
 // Observe ingests one monitoring snapshot (per-zone loads at time
 // now), scores the allocation that was in force against it, and leases
 // toward the next interval's forecast. The zone count is fixed by the
 // first call.
+//
+// Observe degrades gracefully under faults: NaN samples (monitoring
+// dropouts) are replaced by each zone's last observation so the
+// predictors keep a coherent history; leases that vanish before their
+// expiry (their center failed) trigger a same-tick failover that
+// excludes the failed centers from the re-acquisition; and injected
+// grant rejections back off boundedly (1, 2, 4, then 8 ticks) instead
+// of hammering the ecosystem every tick.
 func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 	if o.zones == nil {
 		o.zones = predict.NewZoneSet(o.cfg.Predictor, len(zoneLoads))
+		o.lastLoads = make([]float64, len(zoneLoads))
+		o.cleanBuf = make([]float64, len(zoneLoads))
 	}
 	o.cfg.Matcher.Expire(now)
 
-	// Score the standing allocation against the actual load.
-	have := o.activeCPU(now)
-	demand := o.demandFor(zoneLoads)
+	// Carry the last observation forward across monitoring dropouts.
+	clean := o.cleanBuf[:0]
+	for i, v := range zoneLoads {
+		if i < len(o.lastLoads) {
+			if math.IsNaN(v) {
+				o.droppedSamples++
+				v = o.lastLoads[i]
+			} else {
+				o.lastLoads[i] = v
+			}
+		}
+		clean = append(clean, v)
+	}
+
+	// Score the standing allocation against the actual load, noting
+	// leases that died early — their centers failed under us.
+	have, lost := o.activeCPU(now)
+	demand := o.demandFor(clean)
 	load := demand[datacenter.CPU]
 	if load > 0 {
 		o.overSum += (have/load - 1) * 100
@@ -113,21 +171,49 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 	o.ticks++
 
 	// Forecast the next interval and lease the gap.
-	if err := o.zones.Observe(zoneLoads); err != nil {
+	if err := o.zones.Observe(clean); err != nil {
 		return err
 	}
 	o.lastForecast = o.zones.PredictEach()
 	want := o.demandFor(o.lastForecast)
 	want = want.Scale(1 + o.cfg.SafetyMargin)
 	need := want.Sub(o.allocAt(now.Add(o.cfg.Tick))).ClampNonNegative()
-	if !need.IsZero() {
-		leases, _ := o.cfg.Matcher.Allocate(ecosystem.Request{
-			Tag:           o.cfg.Game.Name,
-			Origin:        o.cfg.Origin,
-			MaxDistanceKm: o.cfg.Game.LatencyKm,
-			Demand:        need,
-		}, now)
-		o.leases = append(o.leases, leases...)
+	if need.IsZero() {
+		o.consecRejects = 0
+		return nil
+	}
+	// Backed off after rejections — but a failover overrides the wait:
+	// capacity just vanished and waiting would compound the outage.
+	if len(lost) == 0 && o.ticks < o.retryAtTick {
+		return nil
+	}
+	if o.consecRejects > 0 {
+		o.retries++
+	}
+	leases, unmet, out := o.cfg.Matcher.AllocateDetailed(ecosystem.Request{
+		Tag:           o.cfg.Game.Name,
+		Origin:        o.cfg.Origin,
+		MaxDistanceKm: o.cfg.Game.LatencyKm,
+		Demand:        need,
+		Exclude:       lost,
+	}, now)
+	o.leases = append(o.leases, leases...)
+	o.rejections += out.Rejections
+	o.partialGrants += out.PartialGrants
+	if len(lost) > 0 {
+		o.failovers++
+	}
+	if out.Rejections > 0 && !unmet.IsZero() {
+		if o.consecRejects < maxRetryExp {
+			o.consecRejects++
+		}
+		backoff := 1 << (o.consecRejects - 1)
+		if backoff > maxBackoffTicks {
+			backoff = maxBackoffTicks
+		}
+		o.retryAtTick = o.ticks + backoff
+	} else {
+		o.consecRejects = 0
 	}
 	return nil
 }
@@ -138,7 +224,14 @@ func (o *Operator) Forecast() []float64 { return o.lastForecast }
 
 // Metrics returns the running summary.
 func (o *Operator) Metrics() Metrics {
-	m := Metrics{Ticks: o.ticks, Events: o.events}
+	m := Metrics{
+		Ticks: o.ticks, Events: o.events,
+		DroppedSamples: o.droppedSamples,
+		Failovers:      o.failovers,
+		Rejections:     o.rejections,
+		PartialGrants:  o.partialGrants,
+		Retries:        o.retries,
+	}
 	if o.overTicks > 0 {
 		m.AvgOverPct = o.overSum / float64(o.overTicks)
 	}
@@ -159,18 +252,36 @@ func (o *Operator) demandFor(zoneLoads []float64) datacenter.Vector {
 	return v
 }
 
-// activeCPU sums the live leases' CPU at now, pruning dead ones.
-func (o *Operator) activeCPU(now time.Time) float64 {
+// activeCPU sums the live leases' CPU at now, pruning dead ones. A
+// lease that is gone before its expiry was released by a center
+// failure; the second return lists those centers (each once) so the
+// re-acquisition can route around them.
+func (o *Operator) activeCPU(now time.Time) (float64, []string) {
 	var sum float64
+	var lost []string
 	live := o.leases[:0]
 	for _, l := range o.leases {
 		if l.Active(now) {
 			sum += l.Alloc[datacenter.CPU]
 			live = append(live, l)
+			continue
+		}
+		if now.Before(l.Expires) && !now.Before(l.Start) && l.Center != nil {
+			name := l.Center.Name
+			seen := false
+			for _, n := range lost {
+				if n == name {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				lost = append(lost, name)
+			}
 		}
 	}
 	o.leases = live
-	return sum
+	return sum, lost
 }
 
 // allocAt sums leases still active at t, without pruning (the renewal

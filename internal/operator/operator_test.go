@@ -143,6 +143,119 @@ func TestOperatorSafetyMarginRaisesAllocation(t *testing.T) {
 	}
 }
 
+func TestOperatorCarriesForwardDroppedSamples(t *testing.T) {
+	op := testOperator(t, 10)
+	now := t0
+	for i := 0; i < 10; i++ {
+		loads := []float64{800, 600}
+		if i >= 5 && i < 8 {
+			loads[0] = math.NaN() // zone 0's monitoring drops out
+		}
+		if err := op.Observe(now, loads); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	m := op.Metrics()
+	if m.DroppedSamples != 3 {
+		t.Fatalf("dropped samples = %d, want 3", m.DroppedSamples)
+	}
+	// The carried-forward value keeps the forecast and scoring sane.
+	if f := op.Forecast(); math.IsNaN(f[0]) || math.Abs(f[0]-800) > 1e-9 {
+		t.Fatalf("forecast after dropout = %v", f)
+	}
+	if math.IsNaN(m.AvgShortfall) || math.IsNaN(m.AvgOverPct) {
+		t.Fatal("dropout poisoned the metrics with NaN")
+	}
+	if m.AvgShortfall > 0.1 {
+		t.Fatalf("steady-load shortfall with dropouts = %v", m.AvgShortfall)
+	}
+}
+
+func TestOperatorFailsOverWhenCenterDies(t *testing.T) {
+	var b datacenter.Vector
+	b[datacenter.CPU] = 0.05
+	p := datacenter.HostingPolicy{Name: "fine", Bulk: b, TimeBulk: time.Hour}
+	a := datacenter.NewCenter("a", geo.London, 10, p)
+	c := datacenter.NewCenter("b", geo.London, 10, p)
+	op, err := New(Config{
+		Game:      mmog.NewGame("op", mmog.GenreMMORPG),
+		Origin:    geo.London,
+		Predictor: predict.NewLastValue(),
+		Matcher:   ecosystem.NewMatcher([]*datacenter.Center{a, c}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := t0
+	for i := 0; i < 5; i++ {
+		if err := op.Observe(now, []float64{900}); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	// Kill whichever center actually holds the leases.
+	victim, survivor := a, c
+	if c.Allocated()[datacenter.CPU] > a.Allocated()[datacenter.CPU] {
+		victim, survivor = c, a
+	}
+	victim.Fail()
+	for i := 0; i < 5; i++ {
+		if err := op.Observe(now, []float64{900}); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	m := op.Metrics()
+	if m.Failovers == 0 {
+		t.Fatal("center failure produced no failover")
+	}
+	if survivor.Allocated()[datacenter.CPU] <= 0 {
+		t.Fatal("failover did not re-acquire from the surviving center")
+	}
+	if victim.Allocated()[datacenter.CPU] != 0 {
+		t.Fatal("failed center still holds allocation")
+	}
+}
+
+// rejectAll is a GrantFaults injector that refuses every grant.
+type rejectAll struct{}
+
+func (rejectAll) GrantFault(string) (bool, float64) { return true, 0 }
+
+func TestOperatorBacksOffAfterRejections(t *testing.T) {
+	m := testMatcher(10)
+	m.SetFaultInjector(rejectAll{})
+	op, err := New(Config{
+		Game:      mmog.NewGame("op", mmog.GenreMMORPG),
+		Origin:    geo.London,
+		Predictor: predict.NewLastValue(),
+		Matcher:   m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := t0
+	for i := 0; i < 24; i++ {
+		if err := op.Observe(now, []float64{900}); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	mt := op.Metrics()
+	if mt.Rejections == 0 {
+		t.Fatal("reject-all injector produced no rejections")
+	}
+	// Backoff (1, 2, 4, 8 ticks) means far fewer attempts than ticks:
+	// attempts at ticks 1, 2, 4, 8, 16, 24 → 6 rejections in 24 ticks.
+	if mt.Rejections >= mt.Ticks/2 {
+		t.Fatalf("rejections = %d over %d ticks; backoff not applied", mt.Rejections, mt.Ticks)
+	}
+	if mt.Retries == 0 {
+		t.Fatal("backed-off attempts were not counted as retries")
+	}
+}
+
 func TestOperatorLeasesRespectLatency(t *testing.T) {
 	var b datacenter.Vector
 	b[datacenter.CPU] = 0.05

@@ -9,3 +9,11 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -run '^$' -bench CoreRun -benchtime 1x .
+
+# Fault-injection smoke: a short chaos run under the race detector must
+# finish and report its resilience accounting (the stochastic injector,
+# failover, and backoff paths all exercise the parallel engine).
+go run -race ./cmd/mmogsim -days 1 -predictor lastvalue \
+	-mtbf 150 -mttr 25 -fault-seed 7 \
+	-fault-reject 0.05 -fault-dropout 0.02 -fault-degraded 0.5 \
+	| grep 'outages:' > /dev/null
