@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench chaos-smoke
+.PHONY: ci vet build test race bench-smoke bench chaos-smoke recovery-smoke
 
-ci: vet build race bench-smoke chaos-smoke
+ci: vet build race bench-smoke chaos-smoke recovery-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,9 +23,12 @@ race:
 	$(GO) test -race ./...
 
 # One iteration of the core-engine benchmarks: catches bit-rot in the
-# bench harness without paying for a full measurement run.
+# bench harness without paying for a full measurement run. The
+# checkpoint benchmark rides along so the operator snapshot path stays
+# runnable too.
 bench-smoke:
 	$(GO) test -run '^$$' -bench CoreRun -benchtime 1x .
+	$(GO) test -run '^$$' -bench Checkpoint -benchtime 1x ./internal/operator/
 
 # Fault-injection smoke: a short chaos run under the race detector must
 # finish and report its resilience accounting (stochastic injector,
@@ -35,6 +38,26 @@ chaos-smoke:
 		-mtbf 150 -mttr 25 -fault-seed 7 \
 		-fault-reject 0.05 -fault-dropout 0.02 -fault-degraded 0.5 \
 		| grep 'outages:' > /dev/null
+
+# Crash-recovery smoke under the race detector: run to a deterministic
+# "crash" (-stop-after-tick) with checkpointing on, resume over the
+# checkpoint directory, and require the resumed stdout to be
+# byte-identical to an uninterrupted run's — metrics continuity across
+# the kill, end to end.
+recovery-smoke:
+	d=$$(mktemp -d) && \
+	$(GO) run -race ./cmd/mmogsim -days 1 -predictor movingavg -fault-dropout 0.02 \
+		> $$d/ref.out && \
+	$(GO) run -race ./cmd/mmogsim -days 1 -predictor movingavg -fault-dropout 0.02 \
+		-checkpoint-dir $$d/ckpt -checkpoint-every 100 -stop-after-tick 400 \
+		> $$d/stop.out 2> $$d/stop.err && \
+	test ! -s $$d/stop.out && \
+	$(GO) run -race ./cmd/mmogsim -days 1 -predictor movingavg -fault-dropout 0.02 \
+		-checkpoint-dir $$d/ckpt -checkpoint-every 100 \
+		> $$d/resume.out 2> $$d/resume.err && \
+	grep -q 'resumed from checkpoint at tick 400' $$d/resume.err && \
+	cmp $$d/ref.out $$d/resume.out && \
+	rm -rf $$d
 
 # Full benchmark suite (minutes).
 bench:

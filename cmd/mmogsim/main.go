@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -39,6 +40,10 @@ func main() {
 		static    = flag.Bool("static", false, "static (peak-capacity) provisioning instead of dynamic")
 		margin    = flag.Float64("margin", 0, "safety margin on predicted demand (e.g. 0.1 = +10%)")
 		workers   = flag.Int("workers", 0, "per-zone simulation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for crash-safe run checkpoints (empty disables; a run over existing checkpoints resumes from the newest valid one)")
+		ckptEvery = flag.Int("checkpoint-every", 60, "checkpoint cadence in ticks")
+		stopAfter = flag.Int("stop-after-tick", 0, "halt right after this tick completes (simulated crash for recovery drills; 0 = run to the end)")
 
 		failFile  = flag.String("failures", "", "scheduled outage file: one 'center,atTick,durationTicks' per line, # comments")
 		faultSeed = flag.Uint64("fault-seed", 0, "seed of the stochastic fault injector (0 = reuse -seed)")
@@ -75,7 +80,12 @@ func main() {
 	}
 	faulted := fcfg.Enabled() || *failFile != ""
 
-	cfg := core.Config{Static: *static, SafetyMargin: *margin, Workers: *workers}
+	cfg := core.Config{
+		Static: *static, SafetyMargin: *margin, Workers: *workers,
+		CheckpointDir:        *ckptDir,
+		CheckpointEveryTicks: *ckptEvery,
+		StopAfterTick:        *stopAfter,
+	}
 	if fcfg.Enabled() {
 		cfg.Faults = &fcfg
 	}
@@ -106,8 +116,20 @@ func main() {
 	}
 
 	res, err := core.Run(cfg)
+	if errors.Is(err, core.ErrStopped) {
+		// A deliberate crash drill: the state to resume from is in the
+		// checkpoint directory, there is no final result to print.
+		fmt.Fprintf(os.Stderr, "stopped after tick %d (checkpoints in %s); rerun without -stop-after-tick to resume\n",
+			*stopAfter, *ckptDir)
+		return
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if res.ResumedFromTick > 0 {
+		// Stderr, so resumed stdout stays byte-diffable against an
+		// uninterrupted run's.
+		fmt.Fprintf(os.Stderr, "resumed from checkpoint at tick %d\n", res.ResumedFromTick)
 	}
 
 	mode := "dynamic"

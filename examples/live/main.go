@@ -12,10 +12,13 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
+	"mmogdc/internal/checkpoint"
 	"mmogdc/internal/datacenter"
 	"mmogdc/internal/ecosystem"
 	"mmogdc/internal/emulator"
@@ -32,6 +35,10 @@ type sample struct {
 }
 
 func main() {
+	ckptDir := flag.String("checkpoint-dir", "", "directory for operator checkpoints (empty disables; an existing checkpoint is restored and its leases reconciled)")
+	ckptEvery := flag.Int("checkpoint-every", 30, "checkpoint cadence in ticks")
+	flag.Parse()
+
 	// The live game: Table I "Set 5" (peak hours, mixed profiles).
 	cfg := emulator.TableIConfigs()[4]
 	cfg.Steps = 360 // half a simulated day
@@ -69,14 +76,43 @@ func main() {
 		datacenter.NewCenter("local", geo.Amsterdam, 2, datacenter.OptimalPolicy()),
 		datacenter.NewCenter("nearby", geo.London, 2, datacenter.OptimalPolicy()),
 	}
-	op, err := operator.New(operator.Config{
+	opCfg := operator.Config{
 		Game:      mmog.NewGame("live", mmog.GenreRPG), // O(n log n): sensible per-sub-zone demand
 		Origin:    geo.Amsterdam,
 		Predictor: factory,
 		Matcher:   ecosystem.NewMatcher(centers),
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+
+	// Crash safety: restore the newest valid checkpoint if one exists
+	// (reconciling its lease book against the centers), otherwise start
+	// fresh; then keep snapshotting on a cadence so a killed session
+	// resumes from its last saved state.
+	var mgr *checkpoint.Manager
+	var op *operator.Operator
+	var err error
+	if *ckptDir != "" {
+		if mgr, err = checkpoint.NewManager(*ckptDir); err != nil {
+			log.Fatal(err)
+		}
+		snap, lerr := mgr.Latest()
+		switch {
+		case lerr == nil:
+			var rec *operator.Reconciliation
+			if op, rec, err = operator.FromSnapshot(opCfg, snap.Payload); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("restored checkpoint from tick %d: %d leases adopted, %d lost, %d orphans released\n\n",
+				snap.Tick, rec.Adopted, rec.Lost, rec.Orphaned)
+		case errors.Is(lerr, checkpoint.ErrNoCheckpoint):
+			// Fresh session.
+		default:
+			log.Fatal(lerr)
+		}
+	}
+	if op == nil {
+		if op, err = operator.New(opCfg); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	now := time.Date(2008, 3, 1, 0, 0, 0, 0, time.UTC)
@@ -101,7 +137,31 @@ func main() {
 				(s.step+1)*2, population, forecast,
 				allocated[datacenter.CPU], datacenter.TotalCostOf(centers))
 		}
+		if mgr != nil && s.step%*ckptEvery == *ckptEvery-1 {
+			payload, err := op.Snapshot()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := mgr.Save(op.Metrics().Ticks, payload); err != nil {
+				log.Fatal(err)
+			}
+		}
 		now = now.Add(2 * time.Minute)
+	}
+
+	// End the session cleanly: release every lease and, when
+	// checkpointing, flush a final clean-shutdown snapshot.
+	if err := op.Shutdown(now, nil); err != nil {
+		log.Fatal(err)
+	}
+	if mgr != nil {
+		payload, err := op.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mgr.Save(op.Metrics().Ticks, payload); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	m := op.Metrics()

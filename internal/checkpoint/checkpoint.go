@@ -1,0 +1,271 @@
+// Package checkpoint implements the durable-state layer of the
+// provisioning stack: a compact deterministic binary codec, a sealed
+// (versioned + checksummed) blob format, and an atomic on-disk store
+// that keeps the latest snapshots of a run and falls back to the
+// previous good one when the newest is truncated or bit-flipped.
+//
+// The paper's middleware plays a contract-bound role between game
+// operators and hosters; its online state — predictor histories,
+// standing leases, backoff counters — must survive a controller
+// restart. Everything in this package is built for that: encodings
+// round-trip float64 values bit-exactly (so a restored run continues
+// the uninterrupted trajectory), writes are temp-file + fsync + rename
+// (a crash mid-write never destroys the previous snapshot), and a
+// checksum mismatch is always a loud error, never a silently loaded
+// half-checkpoint.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"time"
+)
+
+// Version is the current sealed-blob format version. Decoders reject
+// blobs written by a different version rather than guessing.
+const Version = 1
+
+// magic marks a sealed checkpoint blob. Eight bytes, fixed.
+const magic = "MMOGCKPT"
+
+// headerLen is magic + version (u32) + payload length (u64) + CRC64.
+const headerLen = len(magic) + 4 + 8 + 8
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrCorrupt reports a sealed blob that failed validation: truncated,
+// bit-flipped, or not a checkpoint at all.
+var ErrCorrupt = fmt.Errorf("checkpoint: corrupt or truncated blob")
+
+// Seal frames a payload into a self-validating blob:
+// magic | version | payload length | CRC64(payload) | payload.
+func Seal(payload []byte) []byte {
+	out := make([]byte, headerLen+len(payload))
+	copy(out, magic)
+	binary.LittleEndian.PutUint32(out[8:], Version)
+	binary.LittleEndian.PutUint64(out[12:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(out[20:], crc64.Checksum(payload, crcTable))
+	copy(out[headerLen:], payload)
+	return out
+}
+
+// Open validates a sealed blob and returns its payload. Any damage —
+// wrong magic, truncation, trailing garbage, checksum mismatch —
+// yields an error wrapping ErrCorrupt; a version from a different
+// format generation is reported distinctly.
+func Open(blob []byte) ([]byte, error) {
+	if len(blob) < headerLen || string(blob[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(blob[8:]); v != Version {
+		return nil, fmt.Errorf("checkpoint: version %d, want %d", v, Version)
+	}
+	n := binary.LittleEndian.Uint64(blob[12:])
+	if uint64(len(blob)-headerLen) != n {
+		return nil, fmt.Errorf("%w: payload length %d, header says %d", ErrCorrupt, len(blob)-headerLen, n)
+	}
+	payload := blob[headerLen:]
+	if crc64.Checksum(payload, crcTable) != binary.LittleEndian.Uint64(blob[20:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// Enc appends primitives to a growing payload. All integers are
+// little-endian fixed width; floats are IEEE-754 bit images, so NaN
+// payloads and signed zeros round-trip exactly.
+type Enc struct {
+	b []byte
+}
+
+// NewEnc returns an empty encoder.
+func NewEnc() *Enc { return &Enc{} }
+
+// Data returns the encoded payload.
+func (e *Enc) Data() []byte { return e.b }
+
+// U64 appends an unsigned 64-bit value.
+func (e *Enc) U64(v uint64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+}
+
+// Int appends a signed integer.
+func (e *Enc) Int(v int) { e.U64(uint64(int64(v))) }
+
+// F64 appends a float64 bit-exactly.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// Bytes appends a length-prefixed byte slice (for nested snapshots).
+func (e *Enc) Bytes(p []byte) {
+	e.U64(uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// F64s appends a length-prefixed float64 slice.
+func (e *Enc) F64s(vs []float64) {
+	e.U64(uint64(len(vs)))
+	for _, v := range vs {
+		e.F64(v)
+	}
+}
+
+// Ints appends a length-prefixed int slice.
+func (e *Enc) Ints(vs []int) {
+	e.U64(uint64(len(vs)))
+	for _, v := range vs {
+		e.Int(v)
+	}
+}
+
+// Time appends an instant with nanosecond precision.
+func (e *Enc) Time(t time.Time) {
+	e.Int(int(t.Unix()))
+	e.Int(t.Nanosecond())
+}
+
+// Dec reads primitives back out of a payload. Errors are sticky: the
+// first underrun poisons the decoder and every later read returns the
+// zero value, so call sites can decode a whole record and check Err
+// (or Close) once.
+type Dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over the payload.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err returns the first decoding error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Close returns the first decoding error, or an error if the payload
+// was not fully consumed (a length drift between writer and reader).
+func (d *Dec) Close() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.b)-d.off)
+	}
+	return nil
+}
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b)-d.off < n {
+		d.err = fmt.Errorf("%w: payload underrun", ErrCorrupt)
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+// U64 reads an unsigned 64-bit value.
+func (d *Dec) U64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// Int reads a signed integer.
+func (d *Dec) Int() int { return int(int64(d.U64())) }
+
+// F64 reads a float64.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a boolean.
+func (d *Dec) Bool() bool {
+	p := d.take(1)
+	return p != nil && p[0] != 0
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string { return string(d.lenPrefixed()) }
+
+// Bytes reads a length-prefixed byte slice.
+func (d *Dec) Bytes() []byte {
+	p := d.lenPrefixed()
+	if p == nil {
+		return nil
+	}
+	return append([]byte(nil), p...)
+}
+
+func (d *Dec) lenPrefixed() []byte {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.err = fmt.Errorf("%w: length %d exceeds payload", ErrCorrupt, n)
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// F64s reads a length-prefixed float64 slice (nil when empty).
+func (d *Dec) F64s() []float64 {
+	n := d.U64()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off)/8 {
+		d.err = fmt.Errorf("%w: slice length %d exceeds payload", ErrCorrupt, n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.F64()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed int slice (nil when empty).
+func (d *Dec) Ints() []int {
+	n := d.U64()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off)/8 {
+		d.err = fmt.Errorf("%w: slice length %d exceeds payload", ErrCorrupt, n)
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Int()
+	}
+	return out
+}
+
+// Time reads an instant written by Enc.Time, in UTC.
+func (d *Dec) Time() time.Time {
+	sec := d.Int()
+	nsec := d.Int()
+	if d.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(int64(sec), int64(nsec)).UTC()
+}

@@ -21,11 +21,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
+	"mmogdc/internal/checkpoint"
 	"mmogdc/internal/datacenter"
 	"mmogdc/internal/ecosystem"
 	"mmogdc/internal/faults"
@@ -108,6 +110,25 @@ type Config struct {
 	// reduce and acquire phases stay sequential in deterministic
 	// order.
 	Workers int
+	// CheckpointDir, when non-empty, makes the run crash-safe: the full
+	// engine state is written atomically to this directory every
+	// CheckpointEveryTicks ticks, and a run started over a directory
+	// holding checkpoints resumes from the newest valid one instead of
+	// starting fresh. A resumed run's Result is bit-identical to an
+	// uninterrupted run with the same Config. Corrupt checkpoint files
+	// are skipped (falling back to the previous good one), never
+	// silently loaded. Empty disables checkpointing entirely — the run
+	// is then bit-identical to one from before this feature existed.
+	CheckpointDir string
+	// CheckpointEveryTicks is the checkpoint cadence; 0 defaults to 60
+	// ticks (two simulated hours at the paper's 2-minute tick).
+	CheckpointEveryTicks int
+	// StopAfterTick, when > 0, halts the run right after the named
+	// tick completed (and, with CheckpointDir set, after force-writing
+	// a checkpoint at that tick). Run returns ErrStopped and no Result.
+	// This is the deterministic "kill" of crash-recovery drills: run
+	// with StopAfterTick, then rerun without it to resume and finish.
+	StopAfterTick int
 }
 
 // Failure is one scheduled data-center outage.
@@ -153,6 +174,9 @@ type Result struct {
 	// Resilience accounts the run's fault handling (always set; all
 	// zeros when nothing was injected).
 	Resilience *Resilience
+	// ResumedFromTick is the tick of the checkpoint this run resumed
+	// from, 0 when the run started fresh.
+	ResumedFromTick int
 }
 
 // CenterStats accounts one center's CPU usage over a run.
@@ -490,13 +514,65 @@ func Run(cfg Config) (*Result, error) {
 		}
 		tracker.observe(t)
 	}
-	applyFailures(0)
+
+	// Checkpoint/resume: with a directory configured, adopt the newest
+	// valid snapshot (skipping corrupt files) and continue from the
+	// tick after it; otherwise run from the top. The bootstrap below is
+	// part of tick 0 and is skipped on resume — its effects live in the
+	// restored state.
+	es := &engineState{
+		cfg: &cfg, zones: zones, res: res,
+		overSum: &overSum, underSum: &underSum, overTicks: &overTicks,
+		gameUnder: gameUnderSum, tracker: tracker, plan: plan, samples: samples,
+	}
+	var ckptMgr *checkpoint.Manager
+	ckptEvery := cfg.CheckpointEveryTicks
+	if ckptEvery <= 0 {
+		ckptEvery = 60
+	}
+	resumedTick := 0
+	if cfg.CheckpointDir != "" {
+		var err error
+		ckptMgr, err = checkpoint.NewManager(cfg.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		snap, err := ckptMgr.Latest()
+		switch {
+		case err == nil:
+			if resumedTick, err = es.restore(snap.Payload); err != nil {
+				return nil, err
+			}
+			res.ResumedFromTick = resumedTick
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Fresh run.
+		default:
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	saveCheckpoint := func(t int) error {
+		if ckptMgr == nil || (t%ckptEvery != 0 && t != cfg.StopAfterTick) {
+			return nil
+		}
+		payload, err := es.snapshot(t)
+		if err != nil {
+			return err
+		}
+		if err := ckptMgr.Save(t, payload); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		return nil
+	}
+
+	if resumedTick == 0 {
+		applyFailures(0)
+	}
 
 	// Bootstrap: before the first scored tick the operator observes
 	// the initial load and provisions for it, so the simulation does
 	// not begin with an empty allocation (game sessions do not start
 	// cold mid-operation).
-	if !cfg.Static {
+	if !cfg.Static && resumedTick == 0 {
 		pool.For(len(zones), func(i int) {
 			z := zones[i]
 			v := z.group.Load.At(0)
@@ -536,7 +612,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	for t := 1; t < samples; t++ {
+	for t := resumedTick + 1; t < samples; t++ {
 		now := start.Add(time.Duration(t) * tick)
 		applyFailures(t)
 		if !cfg.Static {
@@ -677,6 +753,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		if cfg.Static || final {
+			if err := saveCheckpoint(t); err != nil {
+				return nil, err
+			}
+			if cfg.StopAfterTick > 0 && t >= cfg.StopAfterTick {
+				return nil, ErrStopped
+			}
 			continue
 		}
 
@@ -731,6 +813,15 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if anyUnmet {
 			res.Unmet++
+		}
+		// Checkpoints land at end-of-tick boundaries: everything tick t
+		// did — metrics, leases, predictor updates, backoff — is in the
+		// snapshot, and the resumed run re-enters the loop at t+1.
+		if err := saveCheckpoint(t); err != nil {
+			return nil, err
+		}
+		if cfg.StopAfterTick > 0 && t >= cfg.StopAfterTick {
+			return nil, ErrStopped
 		}
 	}
 	tracker.finish(res.Ticks)

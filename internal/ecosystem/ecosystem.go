@@ -75,6 +75,17 @@ func NewMatcher(centers []*datacenter.Center) *Matcher {
 // Centers returns the matcher's centers.
 func (m *Matcher) Centers() []*datacenter.Center { return m.centers }
 
+// CenterByName finds a center by name, or nil. Checkpoint restore uses
+// it to reconnect lease records with the centers that granted them.
+func (m *Matcher) CenterByName(name string) *datacenter.Center {
+	for _, c := range m.centers {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
 // Expire releases expired leases in all centers and returns the total
 // released.
 func (m *Matcher) Expire(now time.Time) int {

@@ -55,17 +55,27 @@ type Config struct {
 	// is missing at one tick (the operator must carry the last
 	// observation forward).
 	DropoutProb float64
+	// OperatorCrashMTBFTicks is the mean number of ticks between
+	// operator process crashes (exponentially distributed); 0 disables
+	// them. Crashes do not touch the ecosystem — the centers keep the
+	// crashed operator's leases — they mark the ticks at which a
+	// crash-recovery harness kills and restores the operator.
+	OperatorCrashMTBFTicks float64
 }
 
 // Enabled reports whether the configuration injects anything at all.
 func (c Config) Enabled() bool {
-	return c.MTBFTicks > 0 || c.RejectProb > 0 || c.PartialGrantProb > 0 || c.DropoutProb > 0
+	return c.MTBFTicks > 0 || c.RejectProb > 0 || c.PartialGrantProb > 0 ||
+		c.DropoutProb > 0 || c.OperatorCrashMTBFTicks > 0
 }
 
 // Validate rejects configurations outside the model's domain.
 func (c Config) Validate() error {
 	if c.MTBFTicks < 0 || c.MTTRTicks < 0 {
 		return fmt.Errorf("faults: MTBF/MTTR must be >= 0 (got %v/%v)", c.MTBFTicks, c.MTTRTicks)
+	}
+	if c.OperatorCrashMTBFTicks < 0 {
+		return fmt.Errorf("faults: OperatorCrashMTBFTicks must be >= 0 (got %v)", c.OperatorCrashMTBFTicks)
 	}
 	for _, p := range []struct {
 		name string
@@ -105,6 +115,7 @@ type Plan struct {
 	outages   []Outage
 	failAt    map[int][]Outage
 	recoverAt map[int][]Outage
+	crashes   []int
 	grants    *xrand.Rand
 	dropSeed  uint64
 }
@@ -147,6 +158,19 @@ func NewPlan(cfg Config, centers []string, ticks int) *Plan {
 			}
 		}
 	}
+	if cfg.OperatorCrashMTBFTicks > 0 {
+		// The crash schedule consumes its own split stream, so turning
+		// crashes on or off never perturbs the outage or grant streams.
+		r := root.Split(0xc4a54)
+		t := 0
+		for {
+			t += 1 + int(r.Exp(cfg.OperatorCrashMTBFTicks))
+			if t >= ticks-1 {
+				break
+			}
+			p.crashes = append(p.crashes, t)
+		}
+	}
 	sort.Slice(p.outages, func(i, j int) bool {
 		a, b := p.outages[i], p.outages[j]
 		if a.Start != b.Start {
@@ -183,6 +207,29 @@ func (p *Plan) RecoveriesAt(t int) []Outage {
 		return nil
 	}
 	return p.recoverAt[t]
+}
+
+// OperatorCrashes returns the ticks at which the operator process
+// crashes, in ascending order.
+func (p *Plan) OperatorCrashes() []int {
+	if p == nil {
+		return nil
+	}
+	return p.crashes
+}
+
+// SnapshotGrants captures the state of the sequential grant-fault
+// stream so a checkpointed run can resume it mid-sequence; the other
+// fault sources (outage schedule, dropout hash) are pure functions of
+// the seed and need no snapshot.
+func (p *Plan) SnapshotGrants() [4]uint64 {
+	return p.grants.Snapshot()
+}
+
+// RestoreGrants re-establishes a grant-stream state captured by
+// SnapshotGrants.
+func (p *Plan) RestoreGrants(s [4]uint64) error {
+	return p.grants.Restore(s)
 }
 
 // DropSample reports whether zone's monitoring sample at tick is

@@ -1,0 +1,259 @@
+package operator
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mmogdc/internal/checkpoint"
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/predict"
+)
+
+// payloadKind stamps operator checkpoints so they can never be
+// confused with the batch engine's (internal/core) snapshots.
+const payloadKind = "mmogdc/operator@1"
+
+// Snapshot serializes the operator's complete provisioning state: the
+// per-zone predictors, tick counter and running metrics, the LOCF
+// dropout buffer, the rejection-backoff state, and a descriptor for
+// every live lease. Restoring it yields an operator whose subsequent
+// forecasts are bit-identical to the uninterrupted one's.
+//
+// The raw payload pairs with checkpoint.Manager for atomic on-disk
+// cadence saves; Checkpoint wraps it in the sealed self-validating
+// framing for single-stream use.
+func (o *Operator) Snapshot() ([]byte, error) {
+	e := checkpoint.NewEnc()
+	e.Str(payloadKind)
+	e.Str(o.cfg.Game.Name)
+	if o.zones == nil {
+		e.Int(-1)
+	} else {
+		e.Int(o.zones.Len())
+		zs, err := o.zones.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("operator: %w", err)
+		}
+		e.Bytes(zs)
+	}
+	e.Int(o.ticks)
+	e.F64(o.shortfallSum)
+	e.F64(o.overSum)
+	e.Int(o.overTicks)
+	e.Int(o.events)
+	e.F64s(o.lastForecast)
+	e.F64s(o.lastLoads)
+	e.Int(o.droppedSamples)
+	e.Int(o.failovers)
+	e.Int(o.rejections)
+	e.Int(o.partialGrants)
+	e.Int(o.retries)
+	e.Int(o.consecRejects)
+	e.Int(o.retryAtTick)
+	live := 0
+	for _, l := range o.leases {
+		if !l.Released() {
+			live++
+		}
+	}
+	e.Int(live)
+	for _, l := range o.leases {
+		if l.Released() {
+			continue // tombstones are transient failover hints, not state
+		}
+		e.Str(l.Center.Name)
+		e.F64s(l.Alloc[:])
+		e.Time(l.Start)
+		e.Time(l.Expires)
+		e.Str(l.Tag)
+	}
+	return e.Data(), nil
+}
+
+// Checkpoint writes the operator's state to w as one sealed
+// (checksummed, versioned) blob.
+func (o *Operator) Checkpoint(w io.Writer) error {
+	payload, err := o.Snapshot()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(checkpoint.Seal(payload)); err != nil {
+		return fmt.Errorf("operator: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Reconciliation reports how a restored operator's checkpointed lease
+// book was matched against the live ecosystem.
+type Reconciliation struct {
+	// Adopted leases survived the crash: a live lease with the same
+	// center, allocation, and window still existed and was re-claimed.
+	Adopted int
+	// Lost leases did not survive (their center failed, shed them, or
+	// disappeared from the configuration). Each leaves a tombstone that
+	// steers the first post-restore tick's failover re-acquisition away
+	// from the center that lost it.
+	Lost int
+	// Orphaned counts live ecosystem leases carrying this game's tag
+	// that the checkpoint does not know — acquired between the
+	// checkpoint and the crash. They are released back to their centers
+	// so the restored operator does not double-provision.
+	Orphaned int
+}
+
+// FromSnapshot rebuilds an operator from a raw Snapshot payload and
+// reconciles its lease book against cfg.Matcher's live state. See
+// Restore for the sealed-stream variant.
+func FromSnapshot(cfg Config, payload []byte) (*Operator, *Reconciliation, error) {
+	o, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := checkpoint.NewDec(payload)
+	if kind := d.Str(); kind != payloadKind {
+		if err := d.Err(); err != nil {
+			return nil, nil, fmt.Errorf("operator: %w", err)
+		}
+		return nil, nil, fmt.Errorf("operator: checkpoint kind %q, want %q", kind, payloadKind)
+	}
+	if game := d.Str(); game != cfg.Game.Name {
+		if err := d.Err(); err != nil {
+			return nil, nil, fmt.Errorf("operator: %w", err)
+		}
+		return nil, nil, fmt.Errorf("operator: checkpoint for game %q, config is %q", game, cfg.Game.Name)
+	}
+	nz := d.Int()
+	var zoneState []byte
+	if nz >= 0 {
+		zoneState = d.Bytes()
+	}
+	o.ticks = d.Int()
+	o.shortfallSum = d.F64()
+	o.overSum = d.F64()
+	o.overTicks = d.Int()
+	o.events = d.Int()
+	o.lastForecast = d.F64s()
+	o.lastLoads = d.F64s()
+	o.droppedSamples = d.Int()
+	o.failovers = d.Int()
+	o.rejections = d.Int()
+	o.partialGrants = d.Int()
+	o.retries = d.Int()
+	o.consecRejects = d.Int()
+	o.retryAtTick = d.Int()
+	nLeases := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, nil, fmt.Errorf("operator: %w", err)
+	}
+	type leaseRec struct {
+		center       string
+		alloc        datacenter.Vector
+		start, until time.Time
+		tag          string
+	}
+	recs := make([]leaseRec, nLeases)
+	for i := range recs {
+		recs[i].center = d.Str()
+		alloc := d.F64s()
+		recs[i].start = d.Time()
+		recs[i].until = d.Time()
+		recs[i].tag = d.Str()
+		if d.Err() == nil {
+			if len(alloc) != int(datacenter.NumResources) {
+				return nil, nil, fmt.Errorf("operator: lease %d has %d resources", i, len(alloc))
+			}
+			copy(recs[i].alloc[:], alloc)
+		}
+	}
+	if err := d.Close(); err != nil {
+		return nil, nil, fmt.Errorf("operator: %w", err)
+	}
+	if nz >= 0 {
+		o.zones = predict.NewZoneSet(cfg.Predictor, nz)
+		if err := o.zones.Restore(zoneState); err != nil {
+			return nil, nil, fmt.Errorf("operator: %w", err)
+		}
+		o.cleanBuf = make([]float64, nz)
+		if len(o.lastLoads) != nz {
+			return nil, nil, fmt.Errorf("operator: checkpoint has %d zones but %d load samples", nz, len(o.lastLoads))
+		}
+	}
+
+	// Reconcile the checkpointed lease book against the live ecosystem.
+	rec := &Reconciliation{}
+	claimed := make(map[*datacenter.Lease]bool)
+	for _, r := range recs {
+		c := cfg.Matcher.CenterByName(r.center)
+		var adopted *datacenter.Lease
+		if c != nil {
+			for _, l := range c.LeasesByTag(r.tag) {
+				if !claimed[l] && l.Alloc == r.alloc &&
+					l.Start.Equal(r.start) && l.Expires.Equal(r.until) {
+					adopted = l
+					break
+				}
+			}
+		}
+		if adopted != nil {
+			claimed[adopted] = true
+			o.leases = append(o.leases, adopted)
+			rec.Adopted++
+			continue
+		}
+		// The lease is gone — its center failed or shed it while the
+		// operator was down (or the center left the configuration). A
+		// tombstone makes the loss visible to the first Observe, which
+		// fails the capacity over away from that center.
+		o.leases = append(o.leases, datacenter.Tombstone(c, r.alloc, r.start, r.until, r.tag))
+		rec.Lost++
+	}
+	// Leases the ecosystem holds under this game's tag that the
+	// checkpoint predates: the crashed operator acquired them after its
+	// last checkpoint. Release them — the restored operator will re-lease
+	// what its (rewound) forecast actually demands.
+	for _, c := range cfg.Matcher.Centers() {
+		for _, l := range c.LeasesByTag(cfg.Game.Name) {
+			if !claimed[l] {
+				c.Release(l)
+				rec.Orphaned++
+			}
+		}
+	}
+	return o, rec, nil
+}
+
+// Restore rebuilds an operator from a sealed checkpoint stream written
+// by Checkpoint, rejecting corrupted or truncated data, and reconciles
+// the restored lease book against the live ecosystem (see
+// Reconciliation).
+func Restore(cfg Config, r io.Reader) (*Operator, *Reconciliation, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("operator: restore: %w", err)
+	}
+	payload, err := checkpoint.Open(blob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("operator: restore: %w", err)
+	}
+	return FromSnapshot(cfg, payload)
+}
+
+// Shutdown ends the session cleanly: every live lease is released back
+// to its center, and, when w is non-nil, a final sealed checkpoint of
+// the post-release state is flushed to it. A subsequent Restore from
+// that checkpoint resumes the forecasting state with an empty lease
+// book — exactly what a clean stop left behind.
+func (o *Operator) Shutdown(now time.Time, w io.Writer) error {
+	o.cfg.Matcher.Expire(now)
+	for _, l := range o.leases {
+		if !l.Released() && l.Center != nil {
+			l.Center.Release(l)
+		}
+	}
+	o.leases = o.leases[:0]
+	if w == nil {
+		return nil
+	}
+	return o.Checkpoint(w)
+}

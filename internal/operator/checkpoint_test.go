@@ -1,0 +1,329 @@
+package operator
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/ecosystem"
+	"mmogdc/internal/geo"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/predict"
+)
+
+// TestObserveRejectsZoneCountMismatchBeforeSideEffects is the
+// regression test for the silent-mismatch bug: a snapshot with the
+// wrong zone count must be rejected up front, leaving the tick
+// counter, metrics, lease book, and LOCF buffer untouched.
+func TestObserveRejectsZoneCountMismatchBeforeSideEffects(t *testing.T) {
+	op := testOperator(t, 10)
+	if err := op.Observe(t0, []float64{800, 600}); err != nil {
+		t.Fatal(err)
+	}
+	before := op.Metrics()
+	beforeLoads := append([]float64(nil), op.lastLoads...)
+	beforeLeases := len(op.leases)
+	for _, bad := range [][]float64{{800}, {800, 600, 400}, nil} {
+		if err := op.Observe(t0.Add(2*time.Minute), bad); err == nil {
+			t.Fatalf("zone count %d accepted (want 2)", len(bad))
+		}
+	}
+	if got := op.Metrics(); got != before {
+		t.Fatalf("rejected snapshots mutated metrics: %+v -> %+v", before, got)
+	}
+	if !reflect.DeepEqual(op.lastLoads, beforeLoads) {
+		t.Fatalf("rejected snapshots mutated LOCF buffer: %v", op.lastLoads)
+	}
+	if len(op.leases) != beforeLeases {
+		t.Fatal("rejected snapshots mutated the lease book")
+	}
+	// A valid snapshot still works afterwards.
+	if err := op.Observe(t0.Add(2*time.Minute), []float64{810, 590}); err != nil {
+		t.Fatal(err)
+	}
+	if op.Metrics().Ticks != 2 {
+		t.Fatalf("ticks = %d", op.Metrics().Ticks)
+	}
+}
+
+func TestObserveRejectsEmptyFirstSnapshot(t *testing.T) {
+	op := testOperator(t, 10)
+	if err := op.Observe(t0, nil); err == nil {
+		t.Fatal("empty first snapshot accepted")
+	}
+	if op.Metrics().Ticks != 0 {
+		t.Fatal("rejected first snapshot advanced the tick counter")
+	}
+}
+
+func checkpointConfig(m *ecosystem.Matcher) Config {
+	return Config{
+		Game:      mmog.NewGame("ckpt", mmog.GenreMMORPG),
+		Origin:    geo.London,
+		Predictor: predict.NewAR(3, 6, 32),
+		Matcher:   m,
+	}
+}
+
+func runTicks(t *testing.T, op *Operator, from, n int, loads []float64) time.Time {
+	t.Helper()
+	now := t0.Add(time.Duration(from) * 2 * time.Minute)
+	for i := 0; i < n; i++ {
+		if err := op.Observe(now, loads); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	return now
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	m := testMatcher(20)
+	cfg := checkpointConfig(m)
+	op, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := runTicks(t, op, 0, 20, []float64{700, 500, 300})
+
+	var buf bytes.Buffer
+	if err := op.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, rec, err := Restore(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ecosystem is untouched since the checkpoint: every lease is
+	// still live and must be adopted, nothing lost, nothing orphaned.
+	if rec.Adopted == 0 || rec.Lost != 0 || rec.Orphaned != 0 {
+		t.Fatalf("reconciliation = %+v", rec)
+	}
+	if got, want := restored.Metrics(), op.Metrics(); got != want {
+		t.Fatalf("restored metrics %+v, want %+v", got, want)
+	}
+	fa, fb := op.Forecast(), restored.Forecast()
+	for i := range fa {
+		if math.Float64bits(fa[i]) != math.Float64bits(fb[i]) {
+			t.Fatalf("forecast[%d] %v vs %v", i, fa[i], fb[i])
+		}
+	}
+	// The restored operator keeps provisioning cleanly.
+	for i := 0; i < 10; i++ {
+		if err := restored.Observe(now, []float64{700, 500, 300}); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	if s := restored.Metrics().AvgShortfall; s > 0.1 {
+		t.Fatalf("restored operator shortfall = %v", s)
+	}
+}
+
+func TestCheckpointBeforeFirstObserve(t *testing.T) {
+	m := testMatcher(5)
+	cfg := checkpointConfig(m)
+	op, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := op.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := Restore(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zone count is still unfixed; the first Observe decides it.
+	if err := restored.Observe(t0, []float64{100, 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRejectsDamage(t *testing.T) {
+	m := testMatcher(20)
+	cfg := checkpointConfig(m)
+	op, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTicks(t, op, 0, 10, []float64{600, 400})
+	var buf bytes.Buffer
+	if err := op.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	if _, _, err := Restore(cfg, bytes.NewReader(blob[:len(blob)/2])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	for _, i := range []int{10, len(blob) / 2, len(blob) - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x04
+		if _, _, err := Restore(cfg, bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+	// A checkpoint from another game must be refused.
+	other := cfg
+	other.Game = mmog.NewGame("other-game", mmog.GenreMMORPG)
+	if _, _, err := Restore(other, bytes.NewReader(blob)); err == nil {
+		t.Fatal("checkpoint for a different game accepted")
+	}
+}
+
+func TestRestoreReconcilesLostAndOrphanedLeases(t *testing.T) {
+	var b datacenter.Vector
+	b[datacenter.CPU] = 0.05
+	p := datacenter.HostingPolicy{Name: "fine", Bulk: b, TimeBulk: time.Hour}
+	alpha := datacenter.NewCenter("alpha", geo.London, 8, p)
+	beta := datacenter.NewCenter("beta", geo.London, 40, p)
+	m := ecosystem.NewMatcher([]*datacenter.Center{alpha, beta})
+	cfg := checkpointConfig(m)
+	op, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load exceeding alpha's capacity spreads leases over both centers.
+	now := runTicks(t, op, 0, 8, []float64{9000, 7000})
+	var buf bytes.Buffer
+	if err := op.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// After the checkpoint: the doomed operator keeps working (orphan
+	// leases the checkpoint cannot know), then alpha dies (checkpointed
+	// leases that did not survive).
+	runTicksAt(t, op, now, 2, []float64{12000, 9000})
+	orphans := 0
+	for _, c := range m.Centers() {
+		for range c.LeasesByTag(cfg.Game.Name) {
+			orphans++
+		}
+	}
+	alpha.Fail()
+
+	restored, rec, err := Restore(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Adopted == 0 {
+		t.Fatalf("no leases adopted: %+v", rec)
+	}
+	if rec.Lost == 0 {
+		t.Fatalf("alpha's failure lost no checkpointed leases: %+v", rec)
+	}
+	if rec.Orphaned == 0 {
+		t.Fatalf("post-checkpoint leases were not orphaned: %+v", rec)
+	}
+	if rec.Adopted+rec.Orphaned > orphans+rec.Adopted {
+		t.Fatalf("accounting mismatch: %+v vs %d live", rec, orphans)
+	}
+	// Orphans are gone from the ecosystem: only adopted leases remain.
+	live := 0
+	for _, c := range m.Centers() {
+		live += len(c.LeasesByTag(cfg.Game.Name))
+	}
+	if live != rec.Adopted {
+		t.Fatalf("ecosystem holds %d game leases after restore, want %d adopted", live, rec.Adopted)
+	}
+	// The tombstones steer the first tick's failover away from alpha.
+	now = now.Add(4 * time.Minute)
+	if err := restored.Observe(now, []float64{9000, 7000}); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Metrics().Failovers == 0 {
+		t.Fatal("restore after center loss triggered no failover")
+	}
+	if got := alpha.Allocated()[datacenter.CPU]; got != 0 {
+		t.Fatalf("failover re-leased %v CPU from the dead center", got)
+	}
+}
+
+func runTicksAt(t *testing.T, op *Operator, now time.Time, n int, loads []float64) time.Time {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := op.Observe(now, loads); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	return now
+}
+
+func TestShutdownReleasesLeasesAndFlushesCheckpoint(t *testing.T) {
+	m := testMatcher(20)
+	cfg := checkpointConfig(m)
+	op, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := runTicks(t, op, 0, 12, []float64{900, 700})
+	if m.Centers()[0].Allocated()[datacenter.CPU] == 0 {
+		t.Fatal("setup leased nothing")
+	}
+	ticksBefore := op.Metrics().Ticks
+
+	var final bytes.Buffer
+	if err := op.Shutdown(now, &final); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.Centers() {
+		if got := c.Allocated()[datacenter.CPU]; got != 0 {
+			t.Fatalf("center %s still holds %v CPU after shutdown", c.Name, got)
+		}
+		if n := len(c.LeasesByTag(cfg.Game.Name)); n != 0 {
+			t.Fatalf("center %s still lists %d game leases", c.Name, n)
+		}
+	}
+	restored, rec, err := Restore(cfg, &final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Adopted != 0 || rec.Lost != 0 || rec.Orphaned != 0 {
+		t.Fatalf("clean-shutdown checkpoint reconciled %+v, want zeros", rec)
+	}
+	if restored.Metrics().Ticks != ticksBefore {
+		t.Fatalf("restored ticks = %d, want %d", restored.Metrics().Ticks, ticksBefore)
+	}
+	if len(restored.leases) != 0 {
+		t.Fatal("clean-shutdown checkpoint restored a lease book")
+	}
+}
+
+func BenchmarkCheckpoint(b *testing.B) {
+	m := testMatcher(200)
+	cfg := Config{
+		Game:      mmog.NewGame("bench", mmog.GenreMMORPG),
+		Origin:    geo.London,
+		Predictor: predict.NewAR(4, 8, 64),
+		Matcher:   m,
+	}
+	op, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loads := make([]float64, 50)
+	for i := range loads {
+		loads[i] = 400 + 10*float64(i)
+	}
+	now := t0
+	for i := 0; i < 64; i++ {
+		if err := op.Observe(now, loads); err != nil {
+			b.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op.Checkpoint(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -128,7 +128,15 @@ type Metrics struct {
 // grant rejections back off boundedly (1, 2, 4, then 8 ticks) instead
 // of hammering the ecosystem every tick.
 func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
+	if o.zones != nil && len(zoneLoads) != o.zones.Len() {
+		// Reject before touching any state: a malformed snapshot must
+		// not advance the tick counter, expire leases, or skew metrics.
+		return fmt.Errorf("operator: observed %d zones, want %d", len(zoneLoads), o.zones.Len())
+	}
 	if o.zones == nil {
+		if len(zoneLoads) == 0 {
+			return fmt.Errorf("operator: first snapshot has no zones")
+		}
 		o.zones = predict.NewZoneSet(o.cfg.Predictor, len(zoneLoads))
 		o.lastLoads = make([]float64, len(zoneLoads))
 		o.cleanBuf = make([]float64, len(zoneLoads))
@@ -138,13 +146,11 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 	// Carry the last observation forward across monitoring dropouts.
 	clean := o.cleanBuf[:0]
 	for i, v := range zoneLoads {
-		if i < len(o.lastLoads) {
-			if math.IsNaN(v) {
-				o.droppedSamples++
-				v = o.lastLoads[i]
-			} else {
-				o.lastLoads[i] = v
-			}
+		if math.IsNaN(v) {
+			o.droppedSamples++
+			v = o.lastLoads[i]
+		} else {
+			o.lastLoads[i] = v
 		}
 		clean = append(clean, v)
 	}

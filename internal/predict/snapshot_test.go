@@ -1,0 +1,189 @@
+package predict
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mmogdc/internal/neural"
+	"mmogdc/internal/xrand"
+)
+
+// snapshotFactories enumerates every predictor factory in the package,
+// including a pretrained shared-network neural factory, so the
+// round-trip property below covers each concrete type end to end.
+func snapshotFactories(t *testing.T) map[string]Factory {
+	t.Helper()
+	collected := make([][]float64, 3)
+	r := xrand.New(91)
+	for z := range collected {
+		sig := make([]float64, 120)
+		level := 40.0 + 10*float64(z)
+		for i := range sig {
+			level += r.NormFloat64() * 3
+			sig[i] = level + 15*math.Sin(float64(i)/7)
+		}
+		collected[z] = sig
+	}
+	pretrained, _ := PretrainShared(NeuralConfig{Seed: 5}, collected, 0.8,
+		neural.TrainConfig{MaxEras: 5, ShuffleSeed: 11})
+	return map[string]Factory{
+		"lastvalue":     NewLastValue(),
+		"average":       NewAverage(),
+		"movingavg":     NewMovingAverage(12),
+		"expsmoothing":  NewExpSmoothing(0.3, "exp"),
+		"holt":          NewHolt(0.4, 0.1),
+		"median":        NewSlidingWindowMedian(9),
+		"ar":            NewAR(8, 16, 64),
+		"seasonalnaive": NewSeasonalNaive(24),
+		"neural":        NewNeural(NeuralConfig{Seed: 7, Capacity: 150}),
+		"pretrained":    pretrained,
+	}
+}
+
+// TestSnapshotRoundTripEquivalence is the crash-safety property behind
+// operator checkpointing: snapshot a predictor at an arbitrary cut
+// point, restore into a fresh factory instance, and from then on both
+// must produce bit-identical forecasts on the same stream.
+func TestSnapshotRoundTripEquivalence(t *testing.T) {
+	for name, f := range snapshotFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 5; seed++ {
+				r := xrand.New(seed * 977)
+				p := f().(Stateful)
+				cut := 1 + int(r.Uint64()%60)
+				level := 50.0
+				obs := func() float64 {
+					level += r.NormFloat64() * 4
+					if level < 0 {
+						level = 0
+					}
+					return level
+				}
+				for i := 0; i < cut; i++ {
+					p.Observe(obs())
+				}
+				q := f().(Stateful)
+				if err := q.Restore(p.Snapshot()); err != nil {
+					t.Fatalf("seed %d: restore: %v", seed, err)
+				}
+				if pb, qb := math.Float64bits(p.Predict()), math.Float64bits(q.Predict()); pb != qb {
+					t.Fatalf("seed %d: diverged immediately after restore: %x vs %x", seed, pb, qb)
+				}
+				for i := 0; i < 80; i++ {
+					v := obs()
+					p.Observe(v)
+					q.Observe(v)
+					pb, qb := math.Float64bits(p.Predict()), math.Float64bits(q.Predict())
+					if pb != qb {
+						t.Fatalf("seed %d: diverged %d steps after restore: %x vs %x", seed, i+1, pb, qb)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRejectsWrongKind ensures a snapshot can never be loaded
+// into a different predictor type.
+func TestSnapshotRejectsWrongKind(t *testing.T) {
+	fs := snapshotFactories(t)
+	holt := fs["holt"]().(Stateful)
+	holt.Observe(3)
+	for name, f := range fs {
+		if name == "holt" {
+			continue
+		}
+		q := f().(Stateful)
+		if err := q.Restore(holt.Snapshot()); err == nil {
+			t.Fatalf("%s accepted a holt snapshot", name)
+		}
+	}
+}
+
+// TestSnapshotRejectsConfigMismatch ensures a snapshot from a
+// differently configured factory is refused, not silently adapted.
+func TestSnapshotRejectsConfigMismatch(t *testing.T) {
+	cases := []struct{ a, b Factory }{
+		{NewMovingAverage(12), NewMovingAverage(6)},
+		{NewExpSmoothing(0.3, "x"), NewExpSmoothing(0.5, "x")},
+		{NewHolt(0.4, 0.1), NewHolt(0.4, 0.2)},
+		{NewSlidingWindowMedian(9), NewSlidingWindowMedian(5)},
+		{NewAR(8, 16, 64), NewAR(4, 16, 64)},
+		{NewSeasonalNaive(24), NewSeasonalNaive(12)},
+		{NewNeural(NeuralConfig{Seed: 7, Capacity: 150}), NewNeural(NeuralConfig{Seed: 7, Capacity: 99})},
+	}
+	for i, c := range cases {
+		p := c.a().(Stateful)
+		for j := 0; j < 20; j++ {
+			p.Observe(float64(j))
+		}
+		q := c.b().(Stateful)
+		if err := q.Restore(p.Snapshot()); err == nil {
+			t.Fatalf("case %d (%T): config mismatch accepted", i, p)
+		}
+	}
+}
+
+// TestSnapshotRejectsTruncation ensures every predictor notices a cut
+// snapshot instead of restoring garbage.
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	for name, f := range snapshotFactories(t) {
+		p := f().(Stateful)
+		for j := 0; j < 30; j++ {
+			p.Observe(float64(j % 7))
+		}
+		snap := p.Snapshot()
+		q := f().(Stateful)
+		if err := q.Restore(snap[:len(snap)-3]); err == nil {
+			t.Fatalf("%s accepted a truncated snapshot", name)
+		}
+		if err := q.Restore(append(append([]byte(nil), snap...), 0)); err == nil {
+			t.Fatalf("%s accepted a padded snapshot", name)
+		}
+	}
+}
+
+// TestZoneSetSnapshotRoundTrip covers the aggregate used by the
+// operator: restore must reproduce the whole per-zone forecast vector
+// bit-identically and refuse zone-count mismatches.
+func TestZoneSetSnapshotRoundTrip(t *testing.T) {
+	f := NewAR(4, 8, 32)
+	z := NewZoneSet(f, 5)
+	r := xrand.New(3)
+	vals := make([]float64, 5)
+	for i := 0; i < 40; i++ {
+		for j := range vals {
+			vals[j] = 20 + 10*r.Float64()
+		}
+		if err := z.Observe(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := z.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewZoneSet(f, 5)
+	if err := w.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		for j := range vals {
+			vals[j] = 20 + 10*r.Float64()
+		}
+		z.Observe(vals)
+		w.Observe(vals)
+		a, b := z.PredictEach(), w.PredictEach()
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("zone %d diverged at step %d: %v vs %v", j, i, a[j], b[j])
+			}
+		}
+	}
+
+	wrong := NewZoneSet(f, 4)
+	if err := wrong.Restore(snap); err == nil || !strings.Contains(err.Error(), "zones") {
+		t.Fatalf("zone-count mismatch: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+package xrand
+
+import (
+	"fmt"
+	"math"
+)
+
+// Snapshot captures the generator's full state so a checkpointed
+// simulation can resume its stochastic streams mid-sequence: the PCG
+// state and increment plus the spare Box-Muller Gaussian. The layout
+// is four little-endian-free fixed words handled by the caller's
+// codec; Snapshot and Restore are deliberately codec-agnostic.
+func (r *Rand) Snapshot() [4]uint64 {
+	var g uint64
+	if r.hasGauss {
+		g = 1
+	}
+	return [4]uint64{r.state, r.inc, math.Float64bits(r.gauss), g}
+}
+
+// Restore re-establishes a state captured by Snapshot. The increment
+// must be odd (every valid PCG stream selector is); anything else is
+// a corrupted snapshot.
+func (r *Rand) Restore(s [4]uint64) error {
+	if s[1]&1 == 0 {
+		return fmt.Errorf("xrand: invalid snapshot (even increment)")
+	}
+	r.state = s[0]
+	r.inc = s[1]
+	r.gauss = math.Float64frombits(s[2])
+	r.hasGauss = s[3] != 0
+	return nil
+}

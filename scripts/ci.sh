@@ -9,6 +9,7 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -run '^$' -bench CoreRun -benchtime 1x .
+go test -run '^$' -bench Checkpoint -benchtime 1x ./internal/operator/
 
 # Fault-injection smoke: a short chaos run under the race detector must
 # finish and report its resilience accounting (the stochastic injector,
@@ -17,3 +18,22 @@ go run -race ./cmd/mmogsim -days 1 -predictor lastvalue \
 	-mtbf 150 -mttr 25 -fault-seed 7 \
 	-fault-reject 0.05 -fault-dropout 0.02 -fault-degraded 0.5 \
 	| grep 'outages:' > /dev/null
+
+# Crash-recovery smoke under the race detector: run to a deterministic
+# "crash" (-stop-after-tick) with checkpointing on, resume over the
+# checkpoint directory, and require the resumed stdout to be
+# byte-identical to an uninterrupted run's — metrics continuity across
+# the kill, end to end.
+d=$(mktemp -d)
+go run -race ./cmd/mmogsim -days 1 -predictor movingavg -fault-dropout 0.02 \
+	> "$d/ref.out"
+go run -race ./cmd/mmogsim -days 1 -predictor movingavg -fault-dropout 0.02 \
+	-checkpoint-dir "$d/ckpt" -checkpoint-every 100 -stop-after-tick 400 \
+	> "$d/stop.out" 2> "$d/stop.err"
+test ! -s "$d/stop.out"
+go run -race ./cmd/mmogsim -days 1 -predictor movingavg -fault-dropout 0.02 \
+	-checkpoint-dir "$d/ckpt" -checkpoint-every 100 \
+	> "$d/resume.out" 2> "$d/resume.err"
+grep -q 'resumed from checkpoint at tick 400' "$d/resume.err"
+cmp "$d/ref.out" "$d/resume.out"
+rm -rf "$d"
