@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench chaos-smoke recovery-smoke
+.PHONY: ci vet build test race bench-smoke bench chaos-smoke recovery-smoke obs-smoke
 
-ci: vet build race bench-smoke chaos-smoke recovery-smoke
+ci: vet build race bench-smoke chaos-smoke recovery-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,7 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench CoreRun -benchtime 1x .
 	$(GO) test -run '^$$' -bench Checkpoint -benchtime 1x ./internal/operator/
+	$(GO) test -run '^$$' -bench ObsOverhead -benchtime 1x .
 
 # Fault-injection smoke: a short chaos run under the race detector must
 # finish and report its resilience accounting (stochastic injector,
@@ -58,6 +59,12 @@ recovery-smoke:
 	grep -q 'resumed from checkpoint at tick 400' $$d/resume.err && \
 	cmp $$d/ref.out $$d/resume.out && \
 	rm -rf $$d
+
+# Observability smoke: serve /metrics + /debug/pprof from a live run,
+# scrape and assert the key series, and byte-diff the obs-on stdout
+# against an obs-off run's (the write-only telemetry contract).
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # Full benchmark suite (minutes).
 bench:

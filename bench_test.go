@@ -17,6 +17,7 @@ import (
 	"mmogdc/internal/experiments"
 	"mmogdc/internal/mmog"
 	"mmogdc/internal/neural"
+	"mmogdc/internal/obs"
 	"mmogdc/internal/predict"
 	"mmogdc/internal/trace"
 	"mmogdc/internal/xrand"
@@ -143,6 +144,64 @@ func BenchmarkCoreRunWorkers2(b *testing.B) { benchmarkCoreRun(b, 2) }
 func BenchmarkCoreRunWorkers4(b *testing.B) { benchmarkCoreRun(b, 4) }
 
 func BenchmarkCoreRunParallel(b *testing.B) { benchmarkCoreRun(b, 0) }
+
+// ---- observability overhead (DESIGN.md §9) ----
+
+// BenchmarkObsOverhead pins the telemetry layer's cost contract: the
+// disabled path (nil instruments, what a nil Registry hands out and
+// what core.Run uses with Config.Obs unset) must run with 0 allocs/op,
+// and a fully instrumented run must stay within a few percent of an
+// uninstrumented one (compare run-off vs run-on ns/op).
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("instruments-disabled", func(b *testing.B) {
+		var r *obs.Registry
+		c := r.Counter("c_total", "")
+		g := r.Gauge("g", "")
+		h := r.Histogram("h_seconds", "", obs.TimeBuckets)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			g.Set(float64(i))
+			h.Observe(0.001)
+		}
+	})
+	b.Run("instruments-enabled", func(b *testing.B) {
+		r := obs.NewRegistry()
+		c := r.Counter("c_total", "")
+		g := r.Gauge("g", "")
+		h := r.Histogram("h_seconds", "", obs.TimeBuckets)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			g.Set(float64(i))
+			h.Observe(0.001)
+		}
+	})
+
+	runBench := func(b *testing.B, o func() *obs.Obs) {
+		b.Helper()
+		ds := trace.Generate(trace.Config{Seed: 7, Days: 1})
+		game := mmog.NewGame("bench", mmog.GenreMMORPG)
+		factory := predict.NewLastValue()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := core.Config{
+				Workers:   2,
+				Centers:   datacenter.BuildCenters(datacenter.TableIIISites(), datacenter.Policies()[:2]),
+				Workloads: []core.Workload{{Game: game, Dataset: ds, Predictor: factory}},
+				Obs:       o(),
+			}
+			if _, err := core.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("run-off", func(b *testing.B) { runBench(b, func() *obs.Obs { return nil }) })
+	b.Run("run-on", func(b *testing.B) { runBench(b, obs.New) })
+}
 
 // ---- substrate micro-benchmarks ----
 

@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -20,11 +21,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"mmogdc/internal/core"
 	"mmogdc/internal/datacenter"
 	"mmogdc/internal/faults"
 	"mmogdc/internal/mmog"
+	"mmogdc/internal/obs"
 	"mmogdc/internal/predict"
 	"mmogdc/internal/trace"
 )
@@ -45,6 +48,11 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 60, "checkpoint cadence in ticks")
 		stopAfter = flag.Int("stop-after-tick", 0, "halt right after this tick completes (simulated crash for recovery drills; 0 = run to the end)")
 
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /events, /debug/vars, and /debug/pprof on this address while the run executes (e.g. 127.0.0.1:8080; :0 picks a free port, printed to stderr)")
+		obsLinger  = flag.Duration("obs-linger", 0, "keep the -obs-addr server up this long after the run finishes (for scraping a completed run)")
+		obsEvents  = flag.String("obs-events", "", "append every flight-recorder event to this JSONL file")
+		metricsOut = flag.String("metrics-out", "", "write a JSON snapshot of all metrics (plus the resilience summary) to this file after the run")
+
 		failFile  = flag.String("failures", "", "scheduled outage file: one 'center,atTick,durationTicks' per line, # comments")
 		faultSeed = flag.Uint64("fault-seed", 0, "seed of the stochastic fault injector (0 = reuse -seed)")
 		mtbf      = flag.Float64("mtbf", 0, "mean ticks between center outages (0 disables stochastic outages)")
@@ -55,6 +63,29 @@ func main() {
 		dropout   = flag.Float64("fault-dropout", 0, "probability one zone's monitoring sample is lost at one tick")
 	)
 	flag.Parse()
+
+	// Observability: the bundle exists whenever any obs flag asks for
+	// it; the simulation itself is bit-identical either way.
+	var telemetry *obs.Obs
+	if *obsAddr != "" || *obsEvents != "" || *metricsOut != "" {
+		telemetry = obs.New()
+	}
+	if *obsEvents != "" {
+		f, err := os.Create(*obsEvents)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		telemetry.Recorder.SetSink(f)
+	}
+	if *obsAddr != "" {
+		srv, err := telemetry.Serve(*obsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving http on %s\n", srv.Addr())
+	}
 
 	ds, err := loadTrace(*traceFile, *seed, *days)
 	if err != nil {
@@ -85,6 +116,7 @@ func main() {
 		CheckpointDir:        *ckptDir,
 		CheckpointEveryTicks: *ckptEvery,
 		StopAfterTick:        *stopAfter,
+		Obs:                  telemetry,
 	}
 	if fcfg.Enabled() {
 		cfg.Faults = &fcfg
@@ -148,6 +180,38 @@ func main() {
 	if faulted {
 		printResilience(res.Resilience)
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, telemetry, res); err != nil {
+			fatal(err)
+		}
+	}
+	if *obsAddr != "" && *obsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "obs: lingering %s for scrapes\n", *obsLinger)
+		time.Sleep(*obsLinger)
+	}
+}
+
+// writeMetrics dumps the final registry snapshot plus the run's
+// headline results as one JSON document.
+func writeMetrics(path string, telemetry *obs.Obs, res *core.Result) error {
+	doc := map[string]any{
+		"metrics":    telemetry.Registry.Snapshot(),
+		"resilience": res.Resilience,
+		"ticks":      res.Ticks,
+		"events":     res.Events,
+		"unmet":      res.Unmet,
+		"recorder": map[string]any{
+			"total":     telemetry.Recorder.Total(),
+			"retained":  telemetry.Recorder.Len(),
+			"dropped":   telemetry.Recorder.Dropped(),
+			"sink_errs": telemetry.Recorder.SinkErrs(),
+		},
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
 // printResilience renders the fault-handling section of a run that had

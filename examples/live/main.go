@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mmogdc/internal/checkpoint"
@@ -24,6 +25,7 @@ import (
 	"mmogdc/internal/emulator"
 	"mmogdc/internal/geo"
 	"mmogdc/internal/mmog"
+	"mmogdc/internal/obs"
 	"mmogdc/internal/operator"
 	"mmogdc/internal/predict"
 )
@@ -37,7 +39,20 @@ type sample struct {
 func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for operator checkpoints (empty disables; an existing checkpoint is restored and its leases reconciled)")
 	ckptEvery := flag.Int("checkpoint-every", 30, "checkpoint cadence in ticks")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. 127.0.0.1:8080; empty disables)")
 	flag.Parse()
+
+	// Observability: one bundle shared by the operator and, when
+	// -obs-addr is set, an HTTP server exposing it live.
+	telemetry := obs.New()
+	if *obsAddr != "" {
+		srv, err := telemetry.Serve(*obsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving http on %s\n", srv.Addr())
+	}
 
 	// The live game: Table I "Set 5" (peak hours, mixed profiles).
 	cfg := emulator.TableIConfigs()[4]
@@ -81,6 +96,7 @@ func main() {
 		Origin:    geo.Amsterdam,
 		Predictor: factory,
 		Matcher:   ecosystem.NewMatcher(centers),
+		Obs:       telemetry,
 	}
 
 	// Crash safety: restore the newest valid checkpoint if one exists
@@ -169,4 +185,6 @@ func main() {
 		m.Ticks, m.AvgOverPct, m.AvgShortfall)
 	fmt.Printf("disruptive ticks %d, total rental cost %.2f\n",
 		m.Events, datacenter.TotalCostOf(centers))
+	fmt.Printf("obs: %d metric series, %d events recorded (%d dropped from the ring)\n",
+		telemetry.Registry.SeriesCount(), telemetry.Recorder.Total(), telemetry.Recorder.Dropped())
 }

@@ -33,6 +33,7 @@ import (
 	"mmogdc/internal/faults"
 	"mmogdc/internal/geo"
 	"mmogdc/internal/mmog"
+	"mmogdc/internal/obs"
 	"mmogdc/internal/par"
 	"mmogdc/internal/predict"
 	"mmogdc/internal/trace"
@@ -129,6 +130,13 @@ type Config struct {
 	// This is the deterministic "kill" of crash-recovery drills: run
 	// with StopAfterTick, then rerun without it to resume and finish.
 	StopAfterTick int
+	// Obs, when non-nil, streams the run's telemetry — per-phase tick
+	// timing, provisioning counters mirroring Result.Resilience, and
+	// flight-recorder events — into the given observability bundle.
+	// Obs is strictly write-only with respect to the simulation: a run
+	// with Obs set produces a bit-identical Result to one without, and
+	// nil costs nothing on the hot path.
+	Obs *obs.Obs
 }
 
 // Failure is one scheduled data-center outage.
@@ -457,6 +465,7 @@ func Run(cfg Config) (*Result, error) {
 	resil := &Resilience{Availability: map[string]float64{}}
 	res.Resilience = resil
 	tracker := newOutageTracker(cfg.Centers, resil)
+	ro := newRunObs(cfg.Obs)
 
 	tagToZone := make(map[string]int, len(zones))
 	for _, z := range zones {
@@ -491,6 +500,7 @@ func Run(cfg Config) (*Result, error) {
 		for _, f := range cfg.Failures {
 			if t == f.AtTick+f.DurationTicks {
 				centersByName[f.Center].Recover()
+				ro.recovery(t, f.Center, 1)
 			}
 		}
 		for _, o := range plan.RecoveriesAt(t) {
@@ -499,10 +509,12 @@ func Run(cfg Config) (*Result, error) {
 			} else {
 				c.Restore(o.Fraction)
 			}
+			ro.recovery(t, o.Center, o.Fraction)
 		}
 		for _, f := range cfg.Failures {
 			if t == f.AtTick {
 				noteLost(centersByName[f.Center].Fail(), f.Center)
+				ro.outage(t, f.Center, 1)
 			}
 		}
 		for _, o := range plan.FailuresAt(t) {
@@ -511,6 +523,7 @@ func Run(cfg Config) (*Result, error) {
 			} else {
 				noteLost(c.Degrade(o.Fraction), o.Center)
 			}
+			ro.outage(t, o.Center, o.Fraction)
 		}
 		tracker.observe(t)
 	}
@@ -544,6 +557,7 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			res.ResumedFromTick = resumedTick
+			ro.resumed(resumedTick)
 		case errors.Is(err, checkpoint.ErrNoCheckpoint):
 			// Fresh run.
 		default:
@@ -554,13 +568,16 @@ func Run(cfg Config) (*Result, error) {
 		if ckptMgr == nil || (t%ckptEvery != 0 && t != cfg.StopAfterTick) {
 			return nil
 		}
+		encStart := ro.now()
 		payload, err := es.snapshot(t)
 		if err != nil {
 			return err
 		}
+		encDone := ro.now()
 		if err := ckptMgr.Save(t, payload); err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
+		ro.checkpointed(t, len(payload), encStart, encDone, ro.now())
 		return nil
 	}
 
@@ -590,6 +607,7 @@ func Run(cfg Config) (*Result, error) {
 		for _, z := range zones {
 			if partials[z.idx].dropped {
 				resil.DroppedSamples++
+				ro.droppedSample(0, z.tag())
 			}
 		}
 		for _, z := range acquireOrder {
@@ -606,6 +624,7 @@ func Run(cfg Config) (*Result, error) {
 			z.leases = append(z.leases, leases...)
 			resil.Rejections += out.Rejections
 			resil.PartialGrants += out.PartialGrants
+			ro.acquired(0, z.tag(), leases, out, nil)
 			if out.Rejections > 0 && !unmet.IsZero() {
 				backOff(z, 0)
 			}
@@ -613,12 +632,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for t := resumedTick + 1; t < samples; t++ {
+		tickStart := ro.now()
 		now := start.Add(time.Duration(t) * tick)
 		applyFailures(t)
 		if !cfg.Static {
 			matcher.Expire(now)
 		}
 		final := t == samples-1
+		phaseStart := ro.now()
 
 		// Phase 1 (parallel per-zone): score the allocation in force
 		// against the actual demand, observe the new sample, and size
@@ -667,6 +688,8 @@ func Run(cfg Config) (*Result, error) {
 			have := z.allocAt(now.Add(tick))
 			pt.need = want.Sub(have).ClampNonNegative()
 		})
+		observeDone := ro.now()
+		ro.observeDone(phaseStart, observeDone)
 
 		// Phase 2 (sequential reduce): fold the per-zone partials in
 		// canonical zone order — float summation order is fixed, so
@@ -676,6 +699,7 @@ func Run(cfg Config) (*Result, error) {
 		for _, z := range zones {
 			if partials[z.idx].dropped {
 				resil.DroppedSamples++
+				ro.droppedSample(t, z.tag())
 			}
 			a, l := partials[z.idx].alloc, partials[z.idx].load
 			for r := 0; r < int(datacenter.NumResources); r++ {
@@ -711,6 +735,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if event {
 			res.Events++
+			ro.disruptiveTick()
 		}
 		tracker.serviceHealthy(t, !event)
 		res.CumEvents = append(res.CumEvents, res.Events)
@@ -752,10 +777,16 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
+		reduceDone := ro.now()
+		ro.reduceDone(observeDone, reduceDone)
+
 		if cfg.Static || final {
 			if err := saveCheckpoint(t); err != nil {
 				return nil, err
 			}
+			ro.tickDone(t, tickStart, ro.now(),
+				alloc[datacenter.CPU], load[datacenter.CPU],
+				res.OverPct[len(res.OverPct)-1], res.UnderPct[len(res.UnderPct)-1], pool)
 			if cfg.StopAfterTick > 0 && t >= cfg.StopAfterTick {
 				return nil, ErrStopped
 			}
@@ -787,6 +818,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if z.retries > 0 {
 				resil.Retries++
+				ro.retried(t, z.tag())
 			}
 			leases, unmet, out := matcher.AllocateDetailed(ecosystem.Request{
 				Tag:           z.tag(),
@@ -798,6 +830,7 @@ func Run(cfg Config) (*Result, error) {
 			z.leases = append(z.leases, leases...)
 			resil.Rejections += out.Rejections
 			resil.PartialGrants += out.PartialGrants
+			ro.acquired(t, z.tag(), leases, out, lost)
 			if len(lost) > 0 {
 				resil.Failovers++
 				resil.FailoverLeases += len(leases)
@@ -813,13 +846,18 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if anyUnmet {
 			res.Unmet++
+			ro.unmetTick()
 		}
+		ro.acquireDone(reduceDone, ro.now())
 		// Checkpoints land at end-of-tick boundaries: everything tick t
 		// did — metrics, leases, predictor updates, backoff — is in the
 		// snapshot, and the resumed run re-enters the loop at t+1.
 		if err := saveCheckpoint(t); err != nil {
 			return nil, err
 		}
+		ro.tickDone(t, tickStart, ro.now(),
+			alloc[datacenter.CPU], load[datacenter.CPU],
+			res.OverPct[len(res.OverPct)-1], res.UnderPct[len(res.UnderPct)-1], pool)
 		if cfg.StopAfterTick > 0 && t >= cfg.StopAfterTick {
 			return nil, ErrStopped
 		}
@@ -848,6 +886,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
+	ro.finish(res)
 	return res, nil
 }
 

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/ecosystem"
+	"mmogdc/internal/obs"
+	"mmogdc/internal/par"
+)
+
+// runObs is the engine's observability harness: every instrument the
+// tick loop publishes into, pre-registered so the hot path never takes
+// the registry lock. It is strictly write-only with respect to the
+// simulation — nothing in Run ever reads it back — so an obs-enabled
+// run is bit-identical to a disabled one (TestObsRunBitIdentical).
+// All methods are no-ops on a nil receiver; a disabled run makes no
+// clock calls and allocates nothing (BenchmarkObsOverhead).
+type runObs struct {
+	o *obs.Obs
+
+	// Per-phase tick timing (DESIGN.md §6 phases).
+	tickDur      *obs.Histogram
+	phaseObserve *obs.Histogram
+	phaseReduce  *obs.Histogram
+	phaseAcquire *obs.Histogram
+
+	// Checkpoint latency, split into encode and write.
+	ckptEncode *obs.Histogram
+	ckptWrite  *obs.Histogram
+	ckptWrites *obs.Counter
+
+	// Provisioning counters (the Resilience bridge: incremented at the
+	// same sites as the Result.Resilience fields).
+	ticks          *obs.Counter
+	disruptive     *obs.Counter
+	unmet          *obs.Counter
+	grants         *obs.Counter
+	grantLeases    *obs.Counter
+	failovers      *obs.Counter
+	failoverLeases *obs.Counter
+	retries        *obs.Counter
+	rejections     *obs.Counter
+	partialGrants  *obs.Counter
+	droppedSamples *obs.Counter
+	outagesFull    *obs.Counter
+	outagesPartial *obs.Counter
+	recoveries     *obs.Counter
+
+	// Live-run gauges, set once per tick on the sequential reduce path.
+	tickGauge *obs.Gauge
+	allocCPU  *obs.Gauge
+	loadCPU   *obs.Gauge
+	overPct   *obs.Gauge
+	underPct  *obs.Gauge
+
+	// Worker-pool utilization, bridged from par.Stats deltas.
+	poolCaller *obs.Counter
+	poolHelper *obs.Counter
+	poolSkips  *obs.Counter
+	lastPool   par.Stats
+}
+
+// newRunObs registers the engine's metric families; a nil bundle
+// disables everything.
+func newRunObs(o *obs.Obs) *runObs {
+	if o == nil {
+		return nil
+	}
+	r := o.Registry
+	ro := &runObs{o: o}
+
+	ro.tickDur = r.Histogram("mmogdc_tick_duration_seconds",
+		"Wall-clock duration of one full simulation tick.", obs.TimeBuckets)
+	phase := func(name string) *obs.Histogram {
+		return r.Histogram("mmogdc_tick_phase_duration_seconds",
+			"Wall-clock duration of one tick phase (observe/predict, reduce, acquire).",
+			obs.TimeBuckets, obs.L("phase", name))
+	}
+	ro.phaseObserve = phase("observe")
+	ro.phaseReduce = phase("reduce")
+	ro.phaseAcquire = phase("acquire")
+
+	ro.ckptEncode = r.Histogram("mmogdc_checkpoint_encode_seconds",
+		"Time to serialize the engine state into a checkpoint payload.", obs.TimeBuckets)
+	ro.ckptWrite = r.Histogram("mmogdc_checkpoint_write_seconds",
+		"Time to seal, fsync, and rename a checkpoint to disk.", obs.TimeBuckets)
+	ro.ckptWrites = r.Counter("mmogdc_checkpoint_writes_total",
+		"Checkpoints written to disk.")
+
+	ro.ticks = r.Counter("mmogdc_ticks_total", "Scored simulation ticks.")
+	ro.disruptive = r.Counter("mmogdc_disruptive_ticks_total",
+		"Ticks with a significant under-allocation (|Y| > 1%) on any resource.")
+	ro.unmet = r.Counter("mmogdc_unmet_ticks_total",
+		"Ticks where the ecosystem could not serve the full demand.")
+	ro.grants = r.Counter("mmogdc_grants_total",
+		"Acquisitions that won at least one lease.")
+	ro.grantLeases = r.Counter("mmogdc_grant_leases_total",
+		"Leases acquired across all grants.")
+	ro.failovers = r.Counter("mmogdc_failovers_total",
+		"Zone-ticks that re-acquired capacity lost to a failed or degraded center.")
+	ro.failoverLeases = r.Counter("mmogdc_failover_leases_total",
+		"Leases won by failover re-acquisitions.")
+	ro.retries = r.Counter("mmogdc_retries_total",
+		"Backed-off re-attempts after injected grant rejections.")
+	ro.rejections = r.Counter("mmogdc_rejections_total",
+		"Grant attempts vetoed by the fault injector.")
+	ro.partialGrants = r.Counter("mmogdc_partial_grants_total",
+		"Grants the fault injector trimmed to a fraction.")
+	ro.droppedSamples = r.Counter("mmogdc_dropped_samples_total",
+		"Monitoring samples lost and carried forward (LOCF).")
+	ro.outagesFull = r.Counter("mmogdc_outages_total",
+		"Center outage events by kind.", obs.L("kind", "full"))
+	ro.outagesPartial = r.Counter("mmogdc_outages_total",
+		"Center outage events by kind.", obs.L("kind", "partial"))
+	ro.recoveries = r.Counter("mmogdc_recoveries_total",
+		"Center recovery events (full or partial capacity returning).")
+
+	ro.tickGauge = r.Gauge("mmogdc_tick", "Current simulation tick.")
+	ro.allocCPU = r.Gauge("mmogdc_allocated_cpu_units",
+		"Total CPU units allocated at the last scored tick.")
+	ro.loadCPU = r.Gauge("mmogdc_load_cpu_units",
+		"Total CPU demand at the last scored tick.")
+	ro.overPct = r.Gauge("mmogdc_over_allocation_pct",
+		"CPU over-allocation beyond the load at the last scored tick (%).")
+	ro.underPct = r.Gauge("mmogdc_under_allocation_pct",
+		"CPU under-allocation at the last scored tick (%, <= 0).")
+
+	ro.poolCaller = r.Counter("mmogdc_pool_indices_total",
+		"Per-zone work items executed, by executor.", obs.L("executor", "caller"))
+	ro.poolHelper = r.Counter("mmogdc_pool_indices_total",
+		"Per-zone work items executed, by executor.", obs.L("executor", "helper"))
+	ro.poolSkips = r.Counter("mmogdc_pool_helper_skips_total",
+		"Helper dispatches skipped because every resident worker was busy.")
+	return ro
+}
+
+// now reads the obs clock; the zero Time when disabled (no clock call).
+func (ro *runObs) now() time.Time {
+	if ro == nil {
+		return time.Time{}
+	}
+	return ro.o.Now()
+}
+
+// observeDone, reduceDone, and acquireDone record one phase's
+// duration. Phase selection happens inside the method: an argument of
+// ro.phaseObserve at the call site would dereference a nil ro.
+func (ro *runObs) observeDone(from, to time.Time) {
+	if ro == nil {
+		return
+	}
+	ro.phaseObserve.Observe(to.Sub(from).Seconds())
+}
+
+func (ro *runObs) reduceDone(from, to time.Time) {
+	if ro == nil {
+		return
+	}
+	ro.phaseReduce.Observe(to.Sub(from).Seconds())
+}
+
+func (ro *runObs) acquireDone(from, to time.Time) {
+	if ro == nil {
+		return
+	}
+	ro.phaseAcquire.Observe(to.Sub(from).Seconds())
+}
+
+// tickDone closes out one tick: total duration, gauges, tick counter,
+// and the worker-pool utilization delta.
+func (ro *runObs) tickDone(t int, from, to time.Time, allocCPU, loadCPU, overPct, underPct float64, pool *par.Pool) {
+	if ro == nil {
+		return
+	}
+	ro.tickDur.Observe(to.Sub(from).Seconds())
+	ro.ticks.Inc()
+	ro.tickGauge.Set(float64(t))
+	ro.allocCPU.Set(allocCPU)
+	ro.loadCPU.Set(loadCPU)
+	ro.overPct.Set(overPct)
+	ro.underPct.Set(underPct)
+	s := pool.Stats()
+	ro.poolCaller.Add(s.CallerIndices - ro.lastPool.CallerIndices)
+	ro.poolHelper.Add(s.HelperIndices - ro.lastPool.HelperIndices)
+	ro.poolSkips.Add(s.HelperSkips - ro.lastPool.HelperSkips)
+	ro.lastPool = s
+}
+
+// outage records one center losing capacity (fraction is the share
+// that vanished; >= 1 means fully offline).
+func (ro *runObs) outage(t int, center string, fraction float64) {
+	if ro == nil {
+		return
+	}
+	if fraction >= 1 {
+		ro.outagesFull.Inc()
+		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventOutage, Subject: center})
+	} else {
+		ro.outagesPartial.Inc()
+		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventDegrade, Subject: center, Value: fraction})
+	}
+}
+
+// recovery records capacity returning to a center.
+func (ro *runObs) recovery(t int, center string, fraction float64) {
+	if ro == nil {
+		return
+	}
+	ro.recoveries.Inc()
+	kind := obs.EventRecover
+	if fraction < 1 {
+		kind = obs.EventRestore
+	}
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: kind, Subject: center, Value: fraction})
+}
+
+// droppedSample records one monitoring dropout.
+func (ro *runObs) droppedSample(t int, tag string) {
+	if ro == nil {
+		return
+	}
+	ro.droppedSamples.Inc()
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventDropped, Subject: tag})
+}
+
+// retried records one backed-off re-attempt.
+func (ro *runObs) retried(t int, tag string) {
+	if ro == nil {
+		return
+	}
+	ro.retries.Inc()
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventRetry, Subject: tag})
+}
+
+// acquired records the outcome of one AllocateDetailed call: grants,
+// injected rejections/trims, and the failover case.
+func (ro *runObs) acquired(t int, tag string, leases []*datacenter.Lease, out ecosystem.Outcome, lost []string) {
+	if ro == nil {
+		return
+	}
+	ro.rejections.Add(int64(out.Rejections))
+	ro.partialGrants.Add(int64(out.PartialGrants))
+	if out.Rejections > 0 {
+		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventRejection, Subject: tag, Value: float64(out.Rejections)})
+	}
+	if len(leases) > 0 {
+		ro.grants.Inc()
+		ro.grantLeases.Add(int64(len(leases)))
+		cpu := 0.0
+		for _, l := range leases {
+			cpu += l.Alloc[datacenter.CPU]
+		}
+		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventGrant, Subject: tag, Value: cpu})
+	}
+	if len(lost) > 0 {
+		ro.failovers.Inc()
+		ro.failoverLeases.Add(int64(len(leases)))
+		ro.o.Recorder.Record(obs.Event{
+			Tick: t, Kind: obs.EventFailover, Subject: tag,
+			Detail: "lost: " + strings.Join(lost, ","), Value: float64(len(leases)),
+		})
+	}
+}
+
+// disruptiveTick records one tick with a significant under-allocation.
+func (ro *runObs) disruptiveTick() {
+	if ro == nil {
+		return
+	}
+	ro.disruptive.Inc()
+}
+
+// unmetTick records one tick with unserved demand.
+func (ro *runObs) unmetTick() {
+	if ro == nil {
+		return
+	}
+	ro.unmet.Inc()
+}
+
+// resumed records a run picking up from a checkpoint.
+func (ro *runObs) resumed(tick int) {
+	if ro == nil {
+		return
+	}
+	ro.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventResume, Value: float64(tick)})
+}
+
+// checkpointed records one checkpoint write: encode latency (encStart
+// to encDone), write latency (encDone to done), size, and the event.
+func (ro *runObs) checkpointed(t, bytes int, encStart, encDone, done time.Time) {
+	if ro == nil {
+		return
+	}
+	ro.ckptEncode.Observe(encDone.Sub(encStart).Seconds())
+	ro.ckptWrite.Observe(done.Sub(encDone).Seconds())
+	ro.ckptWrites.Inc()
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventCheckpoint, Value: float64(bytes)})
+}
+
+// finish bridges the end-of-run aggregates that only exist as Result
+// fields — per-center availability and the resilience summary — into
+// gauges, so a scraped or dumped registry carries the whole story.
+func (ro *runObs) finish(res *Result) {
+	if ro == nil {
+		return
+	}
+	r := ro.o.Registry
+	resil := res.Resilience
+	for name, avail := range resil.Availability {
+		r.Gauge("mmogdc_center_availability",
+			"Mean fraction of a center's capacity available over the run.",
+			obs.L("center", name)).Set(avail)
+	}
+	r.Gauge("mmogdc_capacity_lost_cpu_ticks",
+		"Tick-weighted CPU capacity unavailable to the ecosystem.").Set(resil.CapacityLostCPUTicks)
+	r.Gauge("mmogdc_mean_time_to_recover_ticks",
+		"Mean ticks from outage start to the next disruption-free tick.").Set(resil.MeanTimeToRecoverTicks)
+	r.Gauge("mmogdc_service_recovered",
+		"Outage windows after which service healed within the run.").Set(float64(resil.ServiceRecovered))
+	r.Gauge("mmogdc_capacity_recovered",
+		"Outage windows whose center returned to full health within the run.").Set(float64(resil.CapacityRecovered))
+	r.Gauge("mmogdc_avg_over_allocation_pct",
+		"Mean CPU over-allocation beyond the load over the run (%).").Set(res.AvgOverPct[datacenter.CPU])
+	r.Gauge("mmogdc_avg_under_allocation_pct",
+		"Mean CPU under-allocation over the run (%, <= 0).").Set(res.AvgUnderPct[datacenter.CPU])
+	r.Gauge("mmogdc_resumed_from_tick",
+		"Checkpoint tick this run resumed from (0 = fresh).").Set(float64(res.ResumedFromTick))
+}

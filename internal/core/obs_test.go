@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mmogdc/internal/faults"
+	"mmogdc/internal/obs"
+)
+
+// obsConfig is the equivalence scenario plus a chaos-grade fault plan,
+// so every instrumented site fires: outages and degradations, grant
+// rejections with retries, partial grants, monitoring dropouts, and
+// same-tick failovers.
+func obsConfig(workers int, o *obs.Obs) Config {
+	cfg := equivalenceConfig(workers)
+	cfg.Faults = &faults.Config{
+		Seed:             99,
+		MTBFTicks:        150,
+		MTTRTicks:        25,
+		DegradedShare:    0.5,
+		RejectProb:       0.05,
+		PartialGrantProb: 0.05,
+		DropoutProb:      0.05,
+	}
+	cfg.Obs = o
+	return cfg
+}
+
+// TestObsRunBitIdentical is the write-only contract of the telemetry
+// layer: enabling observability must not change a single bit of the
+// Result, on a run that exercises every instrumented path.
+func TestObsRunBitIdentical(t *testing.T) {
+	plain, err := Run(obsConfig(2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	o.Clock = obs.NewManualClock(time.Unix(0, 0), time.Millisecond)
+	instrumented, err := Run(obsConfig(2, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, plain, instrumented)
+	if plain.Resilience.Failovers == 0 || plain.Resilience.Rejections == 0 ||
+		plain.Resilience.DroppedSamples == 0 {
+		t.Fatalf("degenerate fault scenario: %+v", plain.Resilience)
+	}
+}
+
+// TestObsCountersMatchResilience pins the Resilience bridge: the
+// registry counters must land on exactly the values the Result
+// reports, because both are incremented at the same sites.
+func TestObsCountersMatchResilience(t *testing.T) {
+	o := obs.New()
+	// The default 4096-event ring wraps on a run this long; keep every
+	// event so the kind census below sees the whole story.
+	o.Recorder = obs.NewRecorder(1 << 17)
+	res, err := Run(obsConfig(4, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := o.Registry
+	resil := res.Resilience
+	counters := []struct {
+		name string
+		got  int64
+		want int
+	}{
+		{"mmogdc_ticks_total", r.Counter("mmogdc_ticks_total", "").Value(), res.Ticks},
+		{"mmogdc_disruptive_ticks_total", r.Counter("mmogdc_disruptive_ticks_total", "").Value(), res.Events},
+		{"mmogdc_unmet_ticks_total", r.Counter("mmogdc_unmet_ticks_total", "").Value(), res.Unmet},
+		{"mmogdc_failovers_total", r.Counter("mmogdc_failovers_total", "").Value(), resil.Failovers},
+		{"mmogdc_failover_leases_total", r.Counter("mmogdc_failover_leases_total", "").Value(), resil.FailoverLeases},
+		{"mmogdc_retries_total", r.Counter("mmogdc_retries_total", "").Value(), resil.Retries},
+		{"mmogdc_rejections_total", r.Counter("mmogdc_rejections_total", "").Value(), resil.Rejections},
+		{"mmogdc_partial_grants_total", r.Counter("mmogdc_partial_grants_total", "").Value(), resil.PartialGrants},
+		{"mmogdc_dropped_samples_total", r.Counter("mmogdc_dropped_samples_total", "").Value(), resil.DroppedSamples},
+	}
+	for _, c := range counters {
+		if c.got != int64(c.want) {
+			t.Errorf("%s = %d, want %d (Resilience parity)", c.name, c.got, c.want)
+		}
+	}
+
+	// Per-phase timing covered every scored tick.
+	for _, phase := range []string{"observe", "reduce", "acquire"} {
+		h := r.Histogram("mmogdc_tick_phase_duration_seconds", "", obs.TimeBuckets, obs.L("phase", phase))
+		want := int64(res.Ticks)
+		if phase == "acquire" {
+			// The final tick skips the acquire phase.
+			want--
+		}
+		if h.Count() != want {
+			t.Errorf("phase %q observations = %d, want %d", phase, h.Count(), want)
+		}
+	}
+	if h := r.Histogram("mmogdc_tick_duration_seconds", "", obs.TimeBuckets); h.Count() != int64(res.Ticks) {
+		t.Errorf("tick duration observations = %d, want %d", h.Count(), res.Ticks)
+	}
+
+	// End-of-run gauges bridged from the Result.
+	for name, avail := range resil.Availability {
+		g := r.Gauge("mmogdc_center_availability", "", obs.L("center", name))
+		if g.Value() != avail {
+			t.Errorf("availability[%s] gauge = %v, want %v", name, g.Value(), avail)
+		}
+	}
+	if g := r.Gauge("mmogdc_capacity_lost_cpu_ticks", ""); g.Value() != resil.CapacityLostCPUTicks {
+		t.Errorf("capacity lost gauge = %v, want %v", g.Value(), resil.CapacityLostCPUTicks)
+	}
+
+	// The flight recorder saw the outage story.
+	kinds := map[string]int{}
+	for _, e := range o.Recorder.Events() {
+		kinds[e.Kind]++
+	}
+	for _, want := range []string{obs.EventGrant, obs.EventFailover, obs.EventRejection,
+		obs.EventDropped, obs.EventRetry} {
+		if kinds[want] == 0 {
+			t.Errorf("flight recorder has no %q events (kinds: %v)", want, kinds)
+		}
+	}
+	if kinds[obs.EventOutage]+kinds[obs.EventDegrade] == 0 {
+		t.Errorf("flight recorder has no outage/degrade events (kinds: %v)", kinds)
+	}
+
+	// Pool utilization bridged: caller+helper indices equal the per-zone
+	// work the run dispatched. Every scored tick plus the bootstrap runs
+	// one For over all zones.
+	caller := r.Counter("mmogdc_pool_indices_total", "", obs.L("executor", "caller")).Value()
+	helper := r.Counter("mmogdc_pool_indices_total", "", obs.L("executor", "helper")).Value()
+	if caller+helper == 0 {
+		t.Error("pool utilization counters never moved")
+	}
+
+	// Prometheus exposition carries the key series end-to-end.
+	text := r.PrometheusText()
+	for _, want := range []string{
+		"mmogdc_tick_duration_seconds_bucket",
+		"mmogdc_failovers_total",
+		"mmogdc_center_availability{center=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -1,6 +1,11 @@
 package experiments
 
-import "time"
+import "mmogdc/internal/obs"
+
+// clock times the micro-benchmarks in this package. It defaults to the
+// wall clock; tests swap in an obs.ManualClock for exact, hardware-free
+// timing assertions.
+var clock obs.Clock = obs.System
 
 // nowNano returns a monotonic nanosecond timestamp for micro-timing.
-func nowNano() int64 { return time.Now().UnixNano() }
+func nowNano() int64 { return clock.Now().UnixNano() }

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "last family").Add(3)
+	r.Counter("aa_total", "first family", L("game", "rpg")).Add(7)
+	r.Counter("aa_total", "first family", L("game", "mmorpg")).Inc()
+	g := r.Gauge("mid_gauge", "a help with \\ backslash\nand newline")
+	g.Set(1.25)
+
+	text := r.PrometheusText()
+
+	// Families in name order, series in label order.
+	ia, im, iz := strings.Index(text, "# HELP aa_total"), strings.Index(text, "# HELP mid_gauge"), strings.Index(text, "# HELP zz_total")
+	if !(ia >= 0 && ia < im && im < iz) {
+		t.Fatalf("families out of order:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE aa_total counter") {
+		t.Fatalf("missing TYPE line:\n%s", text)
+	}
+	i1 := strings.Index(text, `aa_total{game="mmorpg"} 1`)
+	i2 := strings.Index(text, `aa_total{game="rpg"} 7`)
+	if !(i1 >= 0 && i2 >= 0 && i1 < i2) {
+		t.Fatalf("series out of order or missing:\n%s", text)
+	}
+	if !strings.Contains(text, "mid_gauge 1.25") {
+		t.Fatalf("gauge value missing:\n%s", text)
+	}
+	if !strings.Contains(text, `# HELP mid_gauge a help with \\ backslash\nand newline`) {
+		t.Fatalf("help not escaped:\n%s", text)
+	}
+
+	// Rendering is deterministic.
+	if again := r.PrometheusText(); again != text {
+		t.Fatal("repeated rendering differs")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "escapes", L("path", "a\\b\"c\nd")).Inc()
+	text := r.PrometheusText()
+	want := `esc_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(text, want) {
+		t.Fatalf("escaped series %q not found in:\n%s", want, text)
+	}
+}
+
+func TestNaNInfRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g_nan", "").Set(math.NaN())
+	r.Gauge("g_pinf", "").Set(math.Inf(1))
+	r.Gauge("g_ninf", "").Set(math.Inf(-1))
+	text := r.PrometheusText()
+	for _, want := range []string{"g_nan NaN\n", "g_pinf +Inf\n", "g_ninf -Inf\n"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+
+	// The JSON snapshot must stay encodable: non-finite values become
+	// strings (encoding/json rejects NaN/Inf numbers).
+	snap := r.Snapshot()
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+	if snap["g_nan"] != "NaN" || snap["g_pinf"] != "+Inf" || snap["g_ninf"] != "-Inf" {
+		t.Fatalf("non-finite snapshot values: %v", snap)
+	}
+}
+
+func TestHistogramExpositionCumulativity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10}, L("phase", "observe"))
+	// Exact binary fractions, so the rendered sum is exact too.
+	for _, v := range []float64{0.0625, 0.5, 0.5, 5, 48} {
+		h.Observe(v)
+	}
+	text := r.PrometheusText()
+	wants := []string{
+		`lat_seconds_bucket{phase="observe",le="0.1"} 1`,
+		`lat_seconds_bucket{phase="observe",le="1"} 3`,
+		`lat_seconds_bucket{phase="observe",le="10"} 4`,
+		`lat_seconds_bucket{phase="observe",le="+Inf"} 5`,
+		`lat_seconds_sum{phase="observe"} 54.0625`,
+		`lat_seconds_count{phase="observe"} 5`,
+	}
+	last := -1
+	for _, want := range wants {
+		i := strings.Index(text, want)
+		if i < 0 {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+		if i < last {
+			t.Fatalf("%q out of order in:\n%s", want, text)
+		}
+		last = i
+	}
+	if !strings.Contains(text, "# TYPE lat_seconds histogram") {
+		t.Fatalf("missing histogram TYPE in:\n%s", text)
+	}
+
+	// The JSON snapshot buckets are cumulative too and keyed by le.
+	snap := r.Snapshot()
+	doc := snap[`lat_seconds{phase="observe"}`].(map[string]any)
+	buckets := doc["buckets"].(map[string]int64)
+	if buckets["0.1"] != 1 || buckets["1"] != 3 || buckets["10"] != 4 || buckets["+Inf"] != 5 {
+		t.Fatalf("snapshot buckets not cumulative: %v", buckets)
+	}
+}
+
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "").Add(2)
+	r.Counter("a_total", "", L("x", "1")).Add(1)
+	r.Gauge("c", "").Set(3)
+	j1, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(r.Snapshot())
+	if string(j1) != string(j2) {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n%s", j1, j2)
+	}
+	if !strings.Contains(string(j1), `"a_total{x=\"1\"}":1`) {
+		t.Fatalf("unexpected snapshot JSON: %s", j1)
+	}
+}

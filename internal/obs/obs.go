@@ -1,0 +1,51 @@
+package obs
+
+import "time"
+
+// Obs bundles one run's observability: the metrics registry, the
+// flight recorder, and the clock that times instrumented sections.
+// A nil *Obs disables everything — the accessors return nil
+// instruments whose methods are allocation-free no-ops, so engines
+// thread a single pointer and never branch per metric.
+type Obs struct {
+	Registry *Registry
+	Recorder *Recorder
+	// Clock times instrumented sections; nil falls back to System.
+	// Tests inject a ManualClock for deterministic latency histograms.
+	Clock Clock
+}
+
+// New builds an enabled observability bundle with a fresh registry, a
+// default-capacity flight recorder, and the system clock.
+func New() *Obs {
+	return &Obs{Registry: NewRegistry(), Recorder: NewRecorder(0), Clock: System}
+}
+
+// Reg returns the registry (nil when disabled).
+func (o *Obs) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// Rec returns the flight recorder (nil when disabled).
+func (o *Obs) Rec() *Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.Recorder
+}
+
+// Now reads the bundle's clock. Disabled bundles return the zero Time
+// without touching any clock, keeping the disabled path free of
+// time.Now calls.
+func (o *Obs) Now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	if o.Clock == nil {
+		return time.Now()
+	}
+	return o.Clock.Now()
+}

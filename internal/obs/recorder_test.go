@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Tick: i, Kind: EventGrant})
+	}
+	if r.Total() != 5 || r.Len() != 3 || r.Dropped() != 2 {
+		t.Fatalf("total=%d len=%d dropped=%d", r.Total(), r.Len(), r.Dropped())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if e.Tick != i+2 {
+			t.Fatalf("events = %+v, want ticks 2,3,4 oldest-first", events)
+		}
+	}
+
+	// Before wrapping, everything is retained in order.
+	r2 := NewRecorder(8)
+	r2.Record(Event{Tick: 1, Kind: EventOutage, Subject: "c1", Value: 0.5})
+	r2.Record(Event{Tick: 2, Kind: EventRecover, Subject: "c1"})
+	if r2.Dropped() != 0 || r2.Len() != 2 {
+		t.Fatalf("dropped=%d len=%d", r2.Dropped(), r2.Len())
+	}
+	if es := r2.Events(); es[0].Kind != EventOutage || es[1].Kind != EventRecover {
+		t.Fatalf("events = %+v", es)
+	}
+}
+
+func TestRecorderJSONLSink(t *testing.T) {
+	var sb strings.Builder
+	r := NewRecorder(2) // smaller than the event count: the sink still sees everything
+	r.SetSink(&sb)
+	r.Record(Event{Tick: 1, Kind: EventGrant, Subject: "g/zone1", Value: 2.5})
+	r.Record(Event{Tick: 2, Kind: EventFailover, Subject: "g/zone2", Detail: "lost: c1", Value: 3})
+	r.Record(Event{Tick: 3, Kind: EventCheckpoint, Value: 4096})
+
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var lines []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("sink got %d lines, want 3 (ring overwrites must not drop sink lines)", len(lines))
+	}
+	if lines[0].Subject != "g/zone1" || lines[1].Detail != "lost: c1" || lines[2].Value != 4096 {
+		t.Fatalf("sink lines = %+v", lines)
+	}
+	if r.SinkErrs() != 0 {
+		t.Fatalf("sink errs = %d", r.SinkErrs())
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestRecorderSinkErrorsDoNotPropagate(t *testing.T) {
+	r := NewRecorder(4)
+	r.SetSink(failingWriter{})
+	r.Record(Event{Kind: EventGrant})
+	r.Record(Event{Kind: EventGrant})
+	if r.SinkErrs() != 2 {
+		t.Fatalf("sink errs = %d, want 2", r.SinkErrs())
+	}
+	if r.Len() != 2 {
+		t.Fatal("ring must keep recording despite sink failures")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Event{Tick: i, Kind: EventRetry})
+				_ = r.Events()
+				_ = r.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 4000 {
+		t.Fatalf("total = %d, want 4000", r.Total())
+	}
+	if r.Len() != 64 || r.Dropped() != 4000-64 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}

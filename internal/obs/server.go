@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the opt-in HTTP surface of the observability layer:
+//
+//	/metrics                 Prometheus text exposition of the registry
+//	/events                  flight-recorder contents as a JSON document
+//	/debug/vars              expvar (includes the registry snapshot)
+//	/debug/pprof/...         the standard runtime profiles
+//
+// Everything hangs off a private mux — importing net/http/pprof also
+// registers on http.DefaultServeMux, but we never serve that mux, so
+// an embedding application's routes are not polluted.
+
+// expvar publication is process-global and panics on duplicate names;
+// publish once, reading through an atomic pointer so tests (and
+// successive runs in one process) can each own the live bundle.
+var (
+	expvarOnce sync.Once
+	currentObs atomic.Pointer[Obs]
+)
+
+func (o *Obs) publishExpvar() {
+	currentObs.Store(o)
+	expvarOnce.Do(func() {
+		expvar.Publish("mmogdc_metrics", expvar.Func(func() any {
+			return currentObs.Load().Reg().Snapshot()
+		}))
+	})
+}
+
+// Handler returns the observability mux described above. A nil *Obs
+// still returns a working handler over empty data.
+func (o *Obs) Handler() http.Handler {
+	o.publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Reg().WritePrometheus(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		rec := o.Rec()
+		doc := map[string]any{
+			"total":   rec.Total(),
+			"dropped": rec.Dropped(),
+			"events":  rec.Events(),
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "mmogdc observability\n\n/metrics\n/events\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability server on addr (e.g. ":8080" or
+// "127.0.0.1:0" for an ephemeral port) and returns once it is
+// listening; requests are served in a background goroutine.
+func (o *Obs) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: o.Handler()}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's bound address (with the real port when an
+// ephemeral one was requested).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

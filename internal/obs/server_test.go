@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	o := New()
+	o.Registry.Counter("mmogdc_failovers_total", "failovers").Add(2)
+	o.Registry.Histogram("mmogdc_tick_duration_seconds", "tick time", TimeBuckets).Observe(0.01)
+	o.Recorder.Record(Event{Tick: 3, Kind: EventFailover, Subject: "g/z1"})
+
+	srv, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics -> %d", code)
+	}
+	for _, want := range []string{
+		"mmogdc_failovers_total 2",
+		"# TYPE mmogdc_tick_duration_seconds histogram",
+		`mmogdc_tick_duration_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/events")
+	if code != 200 {
+		t.Fatalf("/events -> %d", code)
+	}
+	var doc struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/events not JSON: %v\n%s", err, body)
+	}
+	if doc.Total != 1 || len(doc.Events) != 1 || doc.Events[0].Kind != EventFailover {
+		t.Fatalf("/events doc = %+v", doc)
+	}
+
+	code, body = get("/debug/vars")
+	if code != 200 || !strings.Contains(body, "mmogdc_metrics") {
+		t.Fatalf("/debug/vars -> %d, mmogdc_metrics present=%v", code, strings.Contains(body, "mmogdc_metrics"))
+	}
+
+	code, body = get("/debug/pprof/goroutine?debug=1")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/goroutine -> %d", code)
+	}
+
+	if code, _ := get("/no-such"); code != 404 {
+		t.Fatalf("unknown path -> %d, want 404", code)
+	}
+}

@@ -1,0 +1,148 @@
+package operator
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/ecosystem"
+	"mmogdc/internal/obs"
+)
+
+// opObs is the operator's observability harness, mirroring the
+// engine-side runObs in internal/core: instruments are pre-registered,
+// every method is a no-op on a nil receiver, and nothing the operator
+// computes ever depends on it.
+type opObs struct {
+	o *obs.Obs
+
+	observeDur *obs.Histogram
+
+	ticks          *obs.Counter
+	disruptive     *obs.Counter
+	droppedSamples *obs.Counter
+	grants         *obs.Counter
+	grantLeases    *obs.Counter
+	failovers      *obs.Counter
+	retries        *obs.Counter
+	rejections     *obs.Counter
+	partialGrants  *obs.Counter
+
+	allocCPU *obs.Gauge
+	loadCPU  *obs.Gauge
+}
+
+func newOpObs(o *obs.Obs, game string) *opObs {
+	if o == nil {
+		return nil
+	}
+	r := o.Registry
+	g := obs.L("game", game)
+	return &opObs{
+		o: o,
+		observeDur: r.Histogram("mmogdc_operator_observe_duration_seconds",
+			"Wall-clock duration of one operator Observe cycle.", obs.TimeBuckets, g),
+		ticks: r.Counter("mmogdc_operator_ticks_total",
+			"Monitoring snapshots the operator ingested.", g),
+		disruptive: r.Counter("mmogdc_operator_disruptive_ticks_total",
+			"Ticks whose shortfall exceeded 1% of the session's machines.", g),
+		droppedSamples: r.Counter("mmogdc_operator_dropped_samples_total",
+			"Monitoring samples lost and carried forward (LOCF).", g),
+		grants: r.Counter("mmogdc_operator_grants_total",
+			"Acquisitions that won at least one lease.", g),
+		grantLeases: r.Counter("mmogdc_operator_grant_leases_total",
+			"Leases acquired across all grants.", g),
+		failovers: r.Counter("mmogdc_operator_failovers_total",
+			"Ticks that re-acquired capacity lost to a failed center.", g),
+		retries: r.Counter("mmogdc_operator_retries_total",
+			"Backed-off re-attempts after injected grant rejections.", g),
+		rejections: r.Counter("mmogdc_operator_rejections_total",
+			"Grant attempts vetoed by the fault injector.", g),
+		partialGrants: r.Counter("mmogdc_operator_partial_grants_total",
+			"Grants the fault injector trimmed to a fraction.", g),
+		allocCPU: r.Gauge("mmogdc_operator_allocated_cpu_units",
+			"CPU units the operator held at the last snapshot.", g),
+		loadCPU: r.Gauge("mmogdc_operator_load_cpu_units",
+			"CPU demand of the last monitoring snapshot.", g),
+	}
+}
+
+// observed closes one Observe cycle's timing.
+func (oo *opObs) observed(start time.Time) {
+	if oo == nil {
+		return
+	}
+	oo.observeDur.Observe(oo.o.Now().Sub(start).Seconds())
+}
+
+// now reads the obs clock (zero Time when disabled).
+func (oo *opObs) now() time.Time {
+	if oo == nil {
+		return time.Time{}
+	}
+	return oo.o.Now()
+}
+
+// tick records one scored snapshot and its headline gauges.
+func (oo *opObs) tick(have, load float64) {
+	if oo == nil {
+		return
+	}
+	oo.ticks.Inc()
+	oo.allocCPU.Set(have)
+	oo.loadCPU.Set(load)
+}
+
+func (oo *opObs) disruptiveTick() {
+	if oo == nil {
+		return
+	}
+	oo.disruptive.Inc()
+}
+
+func (oo *opObs) droppedSample(tick, zone int) {
+	if oo == nil {
+		return
+	}
+	oo.droppedSamples.Inc()
+	oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventDropped,
+		Subject: "zone " + strconv.Itoa(zone)})
+}
+
+func (oo *opObs) retried(tick int, game string) {
+	if oo == nil {
+		return
+	}
+	oo.retries.Inc()
+	oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventRetry, Subject: game})
+}
+
+// acquired records the outcome of one AllocateDetailed call.
+func (oo *opObs) acquired(tick int, game string, leases []*datacenter.Lease, out ecosystem.Outcome, lost []string) {
+	if oo == nil {
+		return
+	}
+	oo.rejections.Add(int64(out.Rejections))
+	oo.partialGrants.Add(int64(out.PartialGrants))
+	if out.Rejections > 0 {
+		oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventRejection,
+			Subject: game, Value: float64(out.Rejections)})
+	}
+	if len(leases) > 0 {
+		oo.grants.Inc()
+		oo.grantLeases.Add(int64(len(leases)))
+		cpu := 0.0
+		for _, l := range leases {
+			cpu += l.Alloc[datacenter.CPU]
+		}
+		oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventGrant, Subject: game, Value: cpu})
+	}
+	if len(lost) > 0 {
+		oo.failovers.Inc()
+		oo.o.Recorder.Record(obs.Event{
+			Tick: tick, Kind: obs.EventFailover, Subject: game,
+			Detail: "lost: " + strings.Join(lost, ","), Value: float64(len(leases)),
+		})
+	}
+}

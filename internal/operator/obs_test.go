@@ -1,0 +1,87 @@
+package operator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mmogdc/internal/geo"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/obs"
+	"mmogdc/internal/predict"
+)
+
+// TestObsBridgesMetrics drives an operator with monitoring dropouts
+// enabled and checks the registry counters land on exactly the values
+// Metrics reports, and that enabling obs changes no metric.
+func TestObsBridgesMetrics(t *testing.T) {
+	run := func(o *obs.Obs) Metrics {
+		op, err := New(Config{
+			Game:      mmog.NewGame("op", mmog.GenreMMORPG),
+			Origin:    geo.London,
+			Predictor: predict.NewLastValue(),
+			Matcher:   testMatcher(10),
+			Obs:       o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := t0
+		for i := 0; i < 30; i++ {
+			loads := []float64{800, 600, 400}
+			if i%7 == 3 {
+				loads[1] = math.NaN() // monitoring dropout
+			}
+			if err := op.Observe(now, loads); err != nil {
+				t.Fatal(err)
+			}
+			now = now.Add(2 * time.Minute)
+		}
+		return op.Metrics()
+	}
+
+	plain := run(nil)
+	o := obs.New()
+	instrumented := run(o)
+	if plain != instrumented {
+		t.Fatalf("obs changed operator metrics:\n%+v\n%+v", plain, instrumented)
+	}
+
+	r := o.Registry
+	g := obs.L("game", "op")
+	checks := []struct {
+		name string
+		got  int64
+		want int
+	}{
+		{"mmogdc_operator_ticks_total", r.Counter("mmogdc_operator_ticks_total", "", g).Value(), instrumented.Ticks},
+		{"mmogdc_operator_dropped_samples_total", r.Counter("mmogdc_operator_dropped_samples_total", "", g).Value(), instrumented.DroppedSamples},
+		{"mmogdc_operator_rejections_total", r.Counter("mmogdc_operator_rejections_total", "", g).Value(), instrumented.Rejections},
+		{"mmogdc_operator_retries_total", r.Counter("mmogdc_operator_retries_total", "", g).Value(), instrumented.Retries},
+		{"mmogdc_operator_failovers_total", r.Counter("mmogdc_operator_failovers_total", "", g).Value(), instrumented.Failovers},
+	}
+	for _, c := range checks {
+		if c.got != int64(c.want) {
+			t.Errorf("%s = %d, want %d (Metrics parity)", c.name, c.got, c.want)
+		}
+	}
+	if instrumented.DroppedSamples == 0 {
+		t.Fatal("scenario never dropped a sample")
+	}
+	if h := r.Histogram("mmogdc_operator_observe_duration_seconds", "", obs.TimeBuckets, g); h.Count() != int64(instrumented.Ticks) {
+		t.Errorf("observe duration count = %d, want %d", h.Count(), instrumented.Ticks)
+	}
+	if lg := r.Gauge("mmogdc_operator_load_cpu_units", "", g); lg.Value() <= 0 {
+		t.Errorf("load gauge = %v, want > 0", lg.Value())
+	}
+	// The recorder saw the dropouts.
+	sawDrop := false
+	for _, e := range o.Recorder.Events() {
+		if e.Kind == obs.EventDropped {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Error("flight recorder has no dropped-sample events")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"mmogdc/internal/ecosystem"
 	"mmogdc/internal/geo"
 	"mmogdc/internal/mmog"
+	"mmogdc/internal/obs"
 	"mmogdc/internal/predict"
 )
 
@@ -44,6 +45,11 @@ type Config struct {
 	SafetyMargin float64
 	// Tick is the monitoring interval; defaults to two minutes.
 	Tick time.Duration
+	// Obs, when non-nil, streams the operator's telemetry (Observe
+	// timing, provisioning counters, flight-recorder events) into the
+	// given observability bundle. Write-only: enabling it changes no
+	// operator behavior or metric.
+	Obs *obs.Obs
 }
 
 // Operator runs the predict→demand→lease cycle for one game.
@@ -72,6 +78,9 @@ type Operator struct {
 	// bounded backoff after injected rejections.
 	consecRejects int
 	retryAtTick   int
+	// oo streams telemetry when Config.Obs is set (nil otherwise; all
+	// its methods no-op on nil).
+	oo *opObs
 }
 
 // New validates the configuration and returns an operator.
@@ -88,7 +97,7 @@ func New(cfg Config) (*Operator, error) {
 	if cfg.Tick == 0 {
 		cfg.Tick = 2 * time.Minute
 	}
-	return &Operator{cfg: cfg}, nil
+	return &Operator{cfg: cfg, oo: newOpObs(cfg.Obs, cfg.Game.Name)}, nil
 }
 
 // Metrics summarizes the operator's run so far.
@@ -141,6 +150,8 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 		o.lastLoads = make([]float64, len(zoneLoads))
 		o.cleanBuf = make([]float64, len(zoneLoads))
 	}
+	start := o.oo.now()
+	defer o.oo.observed(start)
 	o.cfg.Matcher.Expire(now)
 
 	// Carry the last observation forward across monitoring dropouts.
@@ -148,6 +159,7 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 	for i, v := range zoneLoads {
 		if math.IsNaN(v) {
 			o.droppedSamples++
+			o.oo.droppedSample(o.ticks, i)
 			v = o.lastLoads[i]
 		} else {
 			o.lastLoads[i] = v
@@ -172,9 +184,11 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 		}
 		if short/machines*100 > 1 {
 			o.events++
+			o.oo.disruptiveTick()
 		}
 	}
 	o.ticks++
+	o.oo.tick(have, load)
 
 	// Forecast the next interval and lease the gap.
 	if err := o.zones.Observe(clean); err != nil {
@@ -195,6 +209,7 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 	}
 	if o.consecRejects > 0 {
 		o.retries++
+		o.oo.retried(o.ticks, o.cfg.Game.Name)
 	}
 	leases, unmet, out := o.cfg.Matcher.AllocateDetailed(ecosystem.Request{
 		Tag:           o.cfg.Game.Name,
@@ -206,6 +221,7 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 	o.leases = append(o.leases, leases...)
 	o.rejections += out.Rejections
 	o.partialGrants += out.PartialGrants
+	o.oo.acquired(o.ticks, o.cfg.Game.Name, leases, out, lost)
 	if len(lost) > 0 {
 		o.failovers++
 	}

@@ -27,6 +27,38 @@ type Pool struct {
 	workers int
 	tasks   chan func()
 	close   sync.Once
+
+	// Utilization counters (see Stats). They observe the pool, never
+	// steer it, so reading them has no effect on scheduling.
+	forCalls      atomic.Int64
+	callerIndices atomic.Int64
+	helperIndices atomic.Int64
+	helperSkips   atomic.Int64
+}
+
+// Stats is a snapshot of a pool's cumulative utilization counters:
+// how many For loops ran, how the loop indices split between the
+// caller's share and the resident helpers (the work-stealing balance),
+// and how often a helper dispatch was skipped because every resident
+// worker was busy. Counters only grow; rates come from deltas.
+type Stats struct {
+	ForCalls      int64
+	CallerIndices int64
+	HelperIndices int64
+	HelperSkips   int64
+}
+
+// Stats returns the pool's cumulative utilization counters. Safe for
+// concurrent use; the fields are read individually, so a snapshot taken
+// while a For is in flight may tear across fields (each field is still
+// exact).
+func (p *Pool) Stats() Stats {
+	return Stats{
+		ForCalls:      p.forCalls.Load(),
+		CallerIndices: p.callerIndices.Load(),
+		HelperIndices: p.helperIndices.Load(),
+		HelperSkips:   p.helperSkips.Load(),
+	}
 }
 
 // New builds a pool. workers <= 0 sizes it by GOMAXPROCS. A pool with
@@ -71,10 +103,12 @@ func (p *Pool) For(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	p.forCalls.Add(1)
 	if p.workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		p.callerIndices.Add(int64(n))
 		return
 	}
 	var (
@@ -83,8 +117,10 @@ func (p *Pool) For(n int, fn func(i int)) {
 		panicVal any
 		panicked bool
 	)
-	share := func() {
+	share := func(counter *atomic.Int64) {
+		var done int64
 		defer func() {
+			counter.Add(done)
 			if r := recover(); r != nil {
 				panicMu.Lock()
 				if !panicked {
@@ -102,6 +138,7 @@ func (p *Pool) For(n int, fn func(i int)) {
 				return
 			}
 			fn(int(i))
+			done++
 		}
 	}
 	helpers := p.workers - 1
@@ -113,17 +150,18 @@ func (p *Pool) For(n int, fn func(i int)) {
 		wg.Add(1)
 		task := func() {
 			defer wg.Done()
-			share()
+			share(&p.helperIndices)
 		}
 		select {
 		case p.tasks <- task:
 		default:
 			// Every resident worker is busy (nested or concurrent For):
 			// skip the helper, the caller's share covers its indices.
+			p.helperSkips.Add(1)
 			wg.Done()
 		}
 	}
-	share()
+	share(&p.callerIndices)
 	wg.Wait()
 	if panicked {
 		panic(panicVal)

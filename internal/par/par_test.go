@@ -132,3 +132,49 @@ func TestSequentialPoolRunsInline(t *testing.T) {
 		}
 	}
 }
+
+func TestPoolStats(t *testing.T) {
+	// Sequential pool: every index is the caller's.
+	seq := New(1)
+	defer seq.Close()
+	seq.For(7, func(int) {})
+	seq.For(3, func(int) {})
+	seq.For(0, func(int) {}) // empty loops are not For calls
+	if s := seq.Stats(); s != (Stats{ForCalls: 2, CallerIndices: 10}) {
+		t.Fatalf("sequential stats = %+v", s)
+	}
+
+	// Parallel pool: caller + helpers cover every index exactly once.
+	p := New(4)
+	defer p.Close()
+	const rounds, n = 20, 64
+	for r := 0; r < rounds; r++ {
+		p.For(n, func(int) {})
+	}
+	s := p.Stats()
+	if s.ForCalls != rounds {
+		t.Fatalf("ForCalls = %d, want %d", s.ForCalls, rounds)
+	}
+	if got := s.CallerIndices + s.HelperIndices; got != rounds*n {
+		t.Fatalf("caller+helper indices = %d, want %d (stats = %+v)", got, rounds*n, s)
+	}
+	if s.CallerIndices == 0 {
+		t.Fatalf("caller never executed an index: %+v", s)
+	}
+
+	// Nested For: inner loops run on busy workers, so helper dispatches
+	// are skipped and the indices still all execute.
+	p2 := New(2)
+	defer p2.Close()
+	var inner atomic.Int64
+	p2.For(2, func(int) {
+		p2.For(8, func(int) { inner.Add(1) })
+	})
+	if inner.Load() != 16 {
+		t.Fatalf("inner iterations = %d, want 16", inner.Load())
+	}
+	s2 := p2.Stats()
+	if got := s2.CallerIndices + s2.HelperIndices; got != 2+16 {
+		t.Fatalf("nested indices = %d, want 18 (stats = %+v)", got, s2)
+	}
+}

@@ -1,8 +1,7 @@
 package predict
 
 import (
-	"time"
-
+	"mmogdc/internal/obs"
 	"mmogdc/internal/stats"
 )
 
@@ -155,13 +154,23 @@ func EvaluateZonesAggregate(f Factory, zones [][]float64, from int) float64 {
 // in microseconds (the Fig. 6 presentation). Observe time is excluded:
 // the figure reports "the time took to make one prediction".
 func TimePredictions(f Factory, signal []float64) (stats.FiveNum, error) {
+	return TimePredictionsWith(f, signal, obs.System, nil)
+}
+
+// TimePredictionsWith is TimePredictions with an injectable monotonic
+// clock — a deterministic obs.ManualClock makes the summary exactly
+// reproducible in tests — and an optional histogram that receives every
+// per-call duration in seconds (nil skips it).
+func TimePredictionsWith(f Factory, signal []float64, clk obs.Clock, hist *obs.Histogram) (stats.FiveNum, error) {
 	p := f()
 	durations := make([]float64, 0, len(signal))
 	for i, v := range signal {
 		if i > 0 {
-			start := time.Now()
+			start := clk.Now()
 			_ = p.Predict()
-			durations = append(durations, float64(time.Since(start).Nanoseconds())/1e3)
+			elapsed := clk.Now().Sub(start)
+			durations = append(durations, float64(elapsed.Nanoseconds())/1e3)
+			hist.ObserveDuration(elapsed)
 		}
 		p.Observe(v)
 	}

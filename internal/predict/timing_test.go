@@ -1,0 +1,46 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"mmogdc/internal/obs"
+)
+
+// TestTimePredictionsWithManualClock pins the timing harness itself:
+// with a manual clock stepping 5µs per reading, every Predict call
+// measures exactly 5µs, so the whole five-number summary is 5.0 —
+// no hardware speed, scheduler noise, or clock resolution involved.
+func TestTimePredictionsWithManualClock(t *testing.T) {
+	clk := obs.NewManualClock(time.Unix(0, 0), 5*time.Microsecond)
+	r := obs.NewRegistry()
+	hist := r.Histogram("predict_seconds", "per-call prediction latency", obs.TimeBuckets)
+
+	signal := make([]float64, 101)
+	for i := range signal {
+		signal[i] = float64(i % 7)
+	}
+	fn, err := TimePredictionsWith(NewLastValue(), signal, clk, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{fn.Min, fn.Q1, fn.Median, fn.Q3, fn.Max} {
+		if v != 5.0 {
+			t.Fatalf("five-number summary not exactly 5µs everywhere: %+v", fn)
+		}
+	}
+	// The histogram saw one observation per scored sample, in seconds.
+	if hist.Count() != int64(len(signal)-1) {
+		t.Fatalf("histogram count = %d, want %d", hist.Count(), len(signal)-1)
+	}
+	wantSum := float64(len(signal)-1) * 5e-6
+	if diff := hist.Sum() - wantSum; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("histogram sum = %v, want %v", hist.Sum(), wantSum)
+	}
+
+	// A nil histogram must be accepted (the default TimePredictions
+	// path).
+	if _, err := TimePredictionsWith(NewLastValue(), signal, clk, nil); err != nil {
+		t.Fatal(err)
+	}
+}

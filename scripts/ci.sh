@@ -10,6 +10,7 @@ go build ./...
 go test -race ./...
 go test -run '^$' -bench CoreRun -benchtime 1x .
 go test -run '^$' -bench Checkpoint -benchtime 1x ./internal/operator/
+go test -run '^$' -bench ObsOverhead -benchtime 1x .
 
 # Fault-injection smoke: a short chaos run under the race detector must
 # finish and report its resilience accounting (the stochastic injector,
@@ -37,3 +38,8 @@ go run -race ./cmd/mmogsim -days 1 -predictor movingavg -fault-dropout 0.02 \
 grep -q 'resumed from checkpoint at tick 400' "$d/resume.err"
 cmp "$d/ref.out" "$d/resume.out"
 rm -rf "$d"
+
+# Observability smoke: scrape /metrics and /debug/pprof from a live
+# run and byte-diff obs-on stdout against obs-off (write-only
+# telemetry contract).
+sh scripts/obs_smoke.sh

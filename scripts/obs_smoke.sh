@@ -1,0 +1,77 @@
+#!/usr/bin/env sh
+# Observability smoke: run mmogsim with the telemetry server on an
+# ephemeral port, scrape /metrics and /debug/pprof while it lingers,
+# assert the key series exist, and prove the write-only contract by
+# byte-diffing the obs-on stdout against an obs-off run's.
+set -eu
+cd "$(dirname "$0")/.."
+
+d=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$d"
+}
+trap cleanup EXIT
+
+go build -o "$d/mmogsim" ./cmd/mmogsim
+args="-days 1 -predictor lastvalue -mtbf 150 -mttr 25 -fault-seed 7 \
+    -fault-reject 0.05 -fault-dropout 0.02 -fault-degraded 0.5"
+
+# Reference run, observability off.
+"$d/mmogsim" $args > "$d/off.out"
+
+# Obs-on run: ephemeral port, JSONL event sink, JSON metrics dump, and
+# a linger window holding the server up after the run for the scrapes.
+"$d/mmogsim" $args -obs-addr 127.0.0.1:0 -obs-linger 120s \
+    -obs-events "$d/events.jsonl" -metrics-out "$d/metrics.json" \
+    > "$d/on.out" 2> "$d/obs.err" &
+pid=$!
+
+# The metrics dump is written after the last tick, before the linger —
+# once it exists the run is done and the server is still up.
+i=0
+while [ ! -s "$d/metrics.json" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "obs-smoke: run never finished" >&2
+        cat "$d/obs.err" >&2
+        exit 1
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "obs-smoke: run died early" >&2
+        cat "$d/obs.err" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+addr=$(sed -n 's/^obs: serving http on //p' "$d/obs.err" | head -n 1)
+if [ -z "$addr" ]; then
+    echo "obs-smoke: no 'obs: serving http on' line on stderr" >&2
+    cat "$d/obs.err" >&2
+    exit 1
+fi
+
+curl -sf "http://$addr/metrics" > "$d/metrics.txt"
+grep -q '^mmogdc_tick_duration_seconds_bucket' "$d/metrics.txt"
+grep -q '^mmogdc_tick_phase_duration_seconds_bucket{phase="observe"' "$d/metrics.txt"
+grep -q '^mmogdc_failovers_total' "$d/metrics.txt"
+grep -q '^mmogdc_center_availability{center=' "$d/metrics.txt"
+curl -sf "http://$addr/debug/pprof/goroutine?debug=1" | grep -q 'goroutine'
+curl -sf "http://$addr/debug/vars" | grep -q 'mmogdc_metrics'
+curl -sf "http://$addr/events" | grep -q '"events"'
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+# Write-only contract: stdout must be byte-identical with obs enabled.
+cmp "$d/off.out" "$d/on.out"
+# The JSONL sink captured structured events.
+test -s "$d/events.jsonl"
+grep -q '"kind"' "$d/events.jsonl"
+# The JSON dump carries the registry snapshot.
+grep -q '"mmogdc_ticks_total"' "$d/metrics.json"
+
+echo "obs-smoke: ok"
