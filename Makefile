@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench chaos-smoke recovery-smoke obs-smoke
+.PHONY: ci vet build test race bench-smoke bench bench-json chaos-smoke recovery-smoke obs-smoke
 
 ci: vet build race bench-smoke chaos-smoke recovery-smoke obs-smoke
 
@@ -69,3 +69,8 @@ obs-smoke:
 # Full benchmark suite (minutes).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Machine-readable benchmark snapshot: BENCH_core.json at the repo root
+# (name -> ns/op, B/op, allocs/op) via scripts/benchjson.
+bench-json:
+	sh scripts/bench_json.sh

@@ -155,6 +155,7 @@ func BenchmarkCoreRunParallel(b *testing.B) { benchmarkCoreRun(b, 0) }
 func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("instruments-disabled", func(b *testing.B) {
 		var r *obs.Registry
+		var tr *obs.Tracer
 		c := r.Counter("c_total", "")
 		g := r.Gauge("g", "")
 		h := r.Histogram("h_seconds", "", obs.TimeBuckets)
@@ -164,6 +165,12 @@ func BenchmarkObsOverhead(b *testing.B) {
 			c.Inc()
 			g.Set(float64(i))
 			h.Observe(0.001)
+			// Disabled tracing must be free too: nil spans, no clock
+			// reads, no allocations.
+			sp := tr.Begin("tick", "tick", 0)
+			sp.SetTick(i)
+			sp.SetWorker(1)
+			sp.End()
 		}
 	})
 	b.Run("instruments-enabled", func(b *testing.B) {

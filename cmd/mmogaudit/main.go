@@ -1,0 +1,102 @@
+// Command mmogaudit reconstructs a post-run provisioning audit from
+// the telemetry artifacts a simulation wrote: the flight-recorder
+// event stream, the metrics snapshot, and the span trace.
+//
+// Usage:
+//
+//	mmogsim -days 2 -mtbf 150 -obs-events run.jsonl -metrics-out run.json -trace-out run.trace
+//	mmogaudit -events run.jsonl -metrics run.json -trace run.trace
+//
+// Only -events is required; the metrics and trace inputs unlock the
+// consistency checks and the timing sections. -o writes the report to
+// a file instead of stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmogdc/internal/audit"
+)
+
+func main() {
+	var (
+		eventsPath  = flag.String("events", "", "flight-recorder JSONL (from mmogsim -obs-events); required")
+		metricsPath = flag.String("metrics", "", "metrics snapshot JSON (from mmogsim -metrics-out)")
+		tracePath   = flag.String("trace", "", "Chrome trace_event JSON (from mmogsim -trace-out)")
+		outPath     = flag.String("o", "", "write the report here instead of stdout")
+	)
+	flag.Parse()
+
+	if *eventsPath == "" {
+		fmt.Fprintln(os.Stderr, "mmogaudit: -events is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*eventsPath)
+	if err != nil {
+		fatal(err)
+	}
+	events, err := audit.LoadEvents(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var md *audit.MetricsDoc
+	if *metricsPath != "" {
+		f, err := os.Open(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		md, err = audit.LoadMetrics(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var tr *audit.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = audit.LoadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	report := audit.Analyze(events, md, tr)
+
+	out := os.Stdout
+	if *outPath != "" {
+		out, err = os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+	}
+	if err := report.Render(out); err != nil {
+		fatal(err)
+	}
+
+	// A failed consistency check is an audit finding, not a crash —
+	// report it in the exit status so CI can gate on it.
+	for _, c := range report.Checks {
+		if !c.OK {
+			fmt.Fprintf(os.Stderr, "mmogaudit: consistency check failed: %s (want %s, got %s)\n",
+				c.Name, c.Want, c.Got)
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"mmogdc/internal/audit"
 	"mmogdc/internal/core"
 	"mmogdc/internal/datacenter"
 	"mmogdc/internal/faults"
@@ -52,6 +53,7 @@ func main() {
 		obsLinger  = flag.Duration("obs-linger", 0, "keep the -obs-addr server up this long after the run finishes (for scraping a completed run)")
 		obsEvents  = flag.String("obs-events", "", "append every flight-recorder event to this JSONL file")
 		metricsOut = flag.String("metrics-out", "", "write a JSON snapshot of all metrics (plus the resilience summary) to this file after the run")
+		traceOut   = flag.String("trace-out", "", "record spans and write a Chrome trace_event JSON file (view in Perfetto; feed to mmogaudit)")
 
 		failFile  = flag.String("failures", "", "scheduled outage file: one 'center,atTick,durationTicks' per line, # comments")
 		faultSeed = flag.Uint64("fault-seed", 0, "seed of the stochastic fault injector (0 = reuse -seed)")
@@ -67,8 +69,11 @@ func main() {
 	// Observability: the bundle exists whenever any obs flag asks for
 	// it; the simulation itself is bit-identical either way.
 	var telemetry *obs.Obs
-	if *obsAddr != "" || *obsEvents != "" || *metricsOut != "" {
+	if *obsAddr != "" || *obsEvents != "" || *metricsOut != "" || *traceOut != "" {
 		telemetry = obs.New()
+	}
+	if *traceOut != "" {
+		telemetry.EnableTracing(0)
 	}
 	if *obsEvents != "" {
 		f, err := os.Create(*obsEvents)
@@ -185,6 +190,20 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, telemetry); err != nil {
+			fatal(err)
+		}
+	}
+	if telemetry != nil {
+		// Stderr, so obs-on stdout stays byte-diffable against obs-off.
+		fmt.Fprintf(os.Stderr, "obs: %d events recorded, %d overwritten by the ring, %d sink errors\n",
+			telemetry.Recorder.Total(), telemetry.Recorder.Dropped(), telemetry.Recorder.SinkErrs())
+		if trc := telemetry.Trc(); trc != nil {
+			fmt.Fprintf(os.Stderr, "obs: %d trace records, %d dropped at the capacity bound\n",
+				trc.Len(), trc.Dropped())
+		}
+	}
 	if *obsAddr != "" && *obsLinger > 0 {
 		fmt.Fprintf(os.Stderr, "obs: lingering %s for scrapes\n", *obsLinger)
 		time.Sleep(*obsLinger)
@@ -192,26 +211,28 @@ func main() {
 }
 
 // writeMetrics dumps the final registry snapshot plus the run's
-// headline results as one JSON document.
+// headline results as one JSON document (the schema mmogaudit parses —
+// audit.BuildMetricsDoc is the single definition).
 func writeMetrics(path string, telemetry *obs.Obs, res *core.Result) error {
-	doc := map[string]any{
-		"metrics":    telemetry.Registry.Snapshot(),
-		"resilience": res.Resilience,
-		"ticks":      res.Ticks,
-		"events":     res.Events,
-		"unmet":      res.Unmet,
-		"recorder": map[string]any{
-			"total":     telemetry.Recorder.Total(),
-			"retained":  telemetry.Recorder.Len(),
-			"dropped":   telemetry.Recorder.Dropped(),
-			"sink_errs": telemetry.Recorder.SinkErrs(),
-		},
-	}
-	blob, err := json.MarshalIndent(doc, "", "  ")
+	blob, err := json.MarshalIndent(audit.BuildMetricsDoc(telemetry, res), "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// writeTrace dumps the recorded spans as one Chrome trace_event JSON
+// document.
+func writeTrace(path string, telemetry *obs.Obs) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.Trc().WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printResilience renders the fault-handling section of a run that had

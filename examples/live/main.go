@@ -185,6 +185,7 @@ func main() {
 		m.Ticks, m.AvgOverPct, m.AvgShortfall)
 	fmt.Printf("disruptive ticks %d, total rental cost %.2f\n",
 		m.Events, datacenter.TotalCostOf(centers))
-	fmt.Printf("obs: %d metric series, %d events recorded (%d dropped from the ring)\n",
-		telemetry.Registry.SeriesCount(), telemetry.Recorder.Total(), telemetry.Recorder.Dropped())
+	fmt.Printf("obs: %d metric series, %d events recorded (%d dropped from the ring, %d sink errors)\n",
+		telemetry.Registry.SeriesCount(), telemetry.Recorder.Total(),
+		telemetry.Recorder.Dropped(), telemetry.Recorder.SinkErrs())
 }

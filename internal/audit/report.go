@@ -1,0 +1,431 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"mmogdc/internal/obs"
+)
+
+// causeLookbackTicks is how far before an SLA-breach episode the
+// classifier looks for a plausible trigger — the engine's maximum
+// rejection backoff, so a breach caused by a backed-off zone still
+// sees its rejection.
+const causeLookbackTicks = 8
+
+// Episode is one maximal run of consecutive SLA-breach ticks
+// (sla_breach events), with the root cause the classifier assigned.
+type Episode struct {
+	StartTick int
+	EndTick   int
+	Ticks     int
+	// WorstUnderPct is the deepest under-allocation Υ inside the
+	// episode (<= 0).
+	WorstUnderPct float64
+	// Cause is "outage", "rejection backoff", or "prediction miss".
+	Cause string
+}
+
+// KindCount is one event kind's census entry.
+type KindCount struct {
+	Kind  string
+	Count int
+}
+
+// LatencyDist summarizes one span family's durations (microseconds).
+type LatencyDist struct {
+	Count  int
+	MinUS  float64
+	MeanUS float64
+	MaxUS  float64
+}
+
+func (d *LatencyDist) observe(us float64) {
+	if d.Count == 0 || us < d.MinUS {
+		d.MinUS = us
+	}
+	if us > d.MaxUS {
+		d.MaxUS = us
+	}
+	d.MeanUS += us // sum until finalized
+	d.Count++
+}
+
+func (d *LatencyDist) finalize() {
+	if d.Count > 0 {
+		d.MeanUS /= float64(d.Count)
+	}
+}
+
+// CenterAttribution is one data center's share of the run's grants.
+type CenterAttribution struct {
+	Name string
+	// Grants counts grant events that included the center.
+	Grants int
+	// CPUUnits is the granted CPU attributed to the center (a grant
+	// spanning k centers contributes value/k to each).
+	CPUUnits float64
+	// AvailabilityPct is the center's mean available capacity over the
+	// run (from the metrics document), or NaN when unknown.
+	AvailabilityPct float64
+}
+
+// PhaseStat is one span family's timing breakdown from the trace.
+type PhaseStat struct {
+	Name    string
+	Spans   int
+	TotalUS float64
+	MeanUS  float64
+}
+
+// Check is one consistency assertion between the artifacts.
+type Check struct {
+	Name string
+	Want string
+	Got  string
+	OK   bool
+}
+
+// Report is the assembled audit.
+type Report struct {
+	// From the event stream.
+	EventTotal  int
+	KindTotals  []KindCount
+	Episodes    []Episode
+	BreachTicks int
+	Centers     []CenterAttribution
+
+	// From the metrics document (nil-safe: zero when absent).
+	HasMetrics bool
+	Ticks      int
+	Events     int
+	Unmet      int
+	Recorder   RecorderStats
+
+	// From the trace (empty when absent).
+	HasTrace        bool
+	FailoverLatency LatencyDist
+	RetryLatency    LatencyDist
+	Phases          []PhaseStat
+
+	Checks []Check
+}
+
+// Analyze builds the audit from a run's artifacts. events is required;
+// md and tr are optional (their sections are omitted when nil).
+func Analyze(events []obs.Event, md *MetricsDoc, tr *Trace) *Report {
+	rp := &Report{EventTotal: len(events)}
+	rp.censusFrom(events)
+	rp.episodesFrom(events)
+	rp.centersFrom(events, md)
+	if md != nil {
+		rp.HasMetrics = true
+		rp.Ticks = md.Ticks
+		rp.Events = md.Events
+		rp.Unmet = md.Unmet
+		rp.Recorder = md.Recorder
+		rp.Checks = append(rp.Checks,
+			check("breach ticks match Result.Events",
+				fmt.Sprint(md.Events), fmt.Sprint(rp.BreachTicks)),
+			check("event stream length matches Recorder.Total",
+				fmt.Sprint(md.Recorder.Total), fmt.Sprint(len(events))))
+	}
+	if tr != nil {
+		rp.HasTrace = true
+		rp.timingFrom(tr)
+	}
+	return rp
+}
+
+func check(name, want, got string) Check {
+	return Check{Name: name, Want: want, Got: got, OK: want == got}
+}
+
+// censusFrom counts events per kind, sorted by kind.
+func (rp *Report) censusFrom(events []obs.Event) {
+	byKind := map[string]int{}
+	for _, e := range events {
+		byKind[e.Kind]++
+	}
+	for kind, n := range byKind {
+		rp.KindTotals = append(rp.KindTotals, KindCount{Kind: kind, Count: n})
+	}
+	sort.Slice(rp.KindTotals, func(i, j int) bool {
+		return rp.KindTotals[i].Kind < rp.KindTotals[j].Kind
+	})
+}
+
+// episodesFrom finds the maximal runs of consecutive breach ticks and
+// classifies each one's root cause.
+func (rp *Report) episodesFrom(events []obs.Event) {
+	// Breach ticks (deduplicated — a multi-operator run can emit one
+	// sla_breach per game at one tick) with the worst Υ per tick.
+	worst := map[int]float64{}
+	var ticks []int
+	// Fault windows per center, refcounted like the engine: an
+	// outage/degrade deepens, a recover/restore shallows; the window
+	// spans first-open to last-close.
+	type window struct{ start, end int } // end < start means still open
+	depth := map[string]int{}
+	open := map[string]int{}
+	var windows []window
+	// Ticks with injected grant trouble (rejections and their retries).
+	rejects := map[int]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EventBreach:
+			if v, ok := worst[e.Tick]; !ok || e.Value < v {
+				if !ok {
+					ticks = append(ticks, e.Tick)
+				}
+				worst[e.Tick] = e.Value
+			}
+		case obs.EventOutage, obs.EventDegrade:
+			if depth[e.Subject] == 0 {
+				open[e.Subject] = e.Tick
+			}
+			depth[e.Subject]++
+		case obs.EventRecover, obs.EventRestore:
+			if d := depth[e.Subject]; d > 0 {
+				depth[e.Subject] = d - 1
+				if d == 1 {
+					windows = append(windows, window{start: open[e.Subject], end: e.Tick})
+				}
+			}
+		case obs.EventRejection, obs.EventRetry:
+			rejects[e.Tick] = true
+		}
+	}
+	for center, d := range depth {
+		if d > 0 { // never recovered within the run
+			windows = append(windows, window{start: open[center], end: math.MaxInt})
+		}
+	}
+	sort.Ints(ticks)
+
+	overlapsOutage := func(s, e int) bool {
+		for _, w := range windows {
+			if w.start <= e && s-causeLookbackTicks <= w.end {
+				return true
+			}
+		}
+		return false
+	}
+	nearReject := func(s, e int) bool {
+		for t := s - causeLookbackTicks; t <= e; t++ {
+			if rejects[t] {
+				return true
+			}
+		}
+		return false
+	}
+	classify := func(s, e int) string {
+		switch {
+		case overlapsOutage(s, e):
+			return "outage"
+		case nearReject(s, e):
+			return "rejection backoff"
+		default:
+			return "prediction miss"
+		}
+	}
+
+	rp.BreachTicks = len(ticks)
+	for i := 0; i < len(ticks); {
+		j := i
+		for j+1 < len(ticks) && ticks[j+1] == ticks[j]+1 {
+			j++
+		}
+		ep := Episode{StartTick: ticks[i], EndTick: ticks[j], Ticks: j - i + 1}
+		for k := i; k <= j; k++ {
+			if v := worst[ticks[k]]; v < ep.WorstUnderPct {
+				ep.WorstUnderPct = v
+			}
+		}
+		ep.Cause = classify(ep.StartTick, ep.EndTick)
+		rp.Episodes = append(rp.Episodes, ep)
+		i = j + 1
+	}
+}
+
+// centersFrom attributes grants to data centers via the grant events'
+// "centers: a,b" detail, joined with availability from the metrics.
+func (rp *Report) centersFrom(events []obs.Event, md *MetricsDoc) {
+	type acc struct {
+		grants int
+		cpu    float64
+	}
+	byCenter := map[string]*acc{}
+	for _, e := range events {
+		if e.Kind != obs.EventGrant || !strings.HasPrefix(e.Detail, "centers: ") {
+			continue
+		}
+		names := strings.Split(strings.TrimPrefix(e.Detail, "centers: "), ",")
+		for _, name := range names {
+			if name == "" {
+				continue
+			}
+			a := byCenter[name]
+			if a == nil {
+				a = &acc{}
+				byCenter[name] = a
+			}
+			a.grants++
+			a.cpu += e.Value / float64(len(names))
+		}
+	}
+	for name, a := range byCenter {
+		avail := math.NaN()
+		if md != nil && md.Resilience != nil {
+			if v, ok := md.Resilience.Availability[name]; ok {
+				avail = v * 100
+			}
+		}
+		rp.Centers = append(rp.Centers, CenterAttribution{
+			Name: name, Grants: a.grants, CPUUnits: a.cpu, AvailabilityPct: avail,
+		})
+	}
+	sort.Slice(rp.Centers, func(i, j int) bool { return rp.Centers[i].Name < rp.Centers[j].Name })
+}
+
+// timingFrom derives the per-phase breakdown and failover/retry latency
+// distributions from complete ("X") spans in the trace.
+func (rp *Report) timingFrom(tr *Trace) {
+	phaseOrder := []string{
+		"tick", "phase.observe", "phase.reduce", "phase.acquire",
+		"acquire", "acquire.failover", "acquire.retry", "predict",
+		"checkpoint.encode", "checkpoint.write", "bootstrap", "operator.observe",
+	}
+	stats := map[string]*PhaseStat{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		s := stats[ev.Name]
+		if s == nil {
+			s = &PhaseStat{Name: ev.Name}
+			stats[ev.Name] = s
+		}
+		s.Spans++
+		s.TotalUS += ev.Dur
+		switch ev.Name {
+		case "acquire.failover":
+			rp.FailoverLatency.observe(ev.Dur)
+		case "acquire.retry":
+			rp.RetryLatency.observe(ev.Dur)
+		}
+	}
+	rp.FailoverLatency.finalize()
+	rp.RetryLatency.finalize()
+	seen := map[string]bool{}
+	add := func(name string) {
+		if s := stats[name]; s != nil && !seen[name] {
+			seen[name] = true
+			s.MeanUS = s.TotalUS / float64(s.Spans)
+			rp.Phases = append(rp.Phases, *s)
+		}
+	}
+	for _, name := range phaseOrder {
+		add(name)
+	}
+	// Any span families the fixed order missed, alphabetically.
+	var rest []string
+	for name := range stats {
+		if !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		add(name)
+	}
+}
+
+// Render writes the report as markdown/ASCII.
+func (rp *Report) Render(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("# mmogdc provisioning audit\n\n")
+
+	b.WriteString("## Run summary\n\n")
+	if rp.HasMetrics {
+		fmt.Fprintf(&b, "ticks: %d  breach ticks: %d  unmet ticks: %d\n",
+			rp.Ticks, rp.Events, rp.Unmet)
+		fmt.Fprintf(&b, "recorder: %d events total, %d retained, %d overwritten, %d sink errors\n",
+			rp.Recorder.Total, rp.Recorder.Retained, rp.Recorder.Dropped, rp.Recorder.SinkErrs)
+	}
+	fmt.Fprintf(&b, "event stream: %d events\n\n", rp.EventTotal)
+
+	b.WriteString("## Event census\n\n")
+	b.WriteString("| kind | count |\n|---|---:|\n")
+	for _, k := range rp.KindTotals {
+		fmt.Fprintf(&b, "| %s | %d |\n", k.Kind, k.Count)
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "## SLA-breach episodes (%d episodes, %d breach ticks)\n\n",
+		len(rp.Episodes), rp.BreachTicks)
+	if len(rp.Episodes) == 0 {
+		b.WriteString("none — no tick breached the significance threshold\n\n")
+	} else {
+		b.WriteString("| # | ticks | length | worst Y | root cause |\n|---:|---|---:|---:|---|\n")
+		for i, ep := range rp.Episodes {
+			span := fmt.Sprint(ep.StartTick)
+			if ep.EndTick != ep.StartTick {
+				span = fmt.Sprintf("%d-%d", ep.StartTick, ep.EndTick)
+			}
+			fmt.Fprintf(&b, "| %d | %s | %d | %.3f%% | %s |\n",
+				i+1, span, ep.Ticks, ep.WorstUnderPct, ep.Cause)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("## Per-center grant attribution\n\n")
+	if len(rp.Centers) == 0 {
+		b.WriteString("no grants recorded\n\n")
+	} else {
+		b.WriteString("| center | grants | CPU units | availability |\n|---|---:|---:|---:|\n")
+		for _, c := range rp.Centers {
+			avail := "n/a"
+			if !math.IsNaN(c.AvailabilityPct) {
+				avail = fmt.Sprintf("%.3f%%", c.AvailabilityPct)
+			}
+			fmt.Fprintf(&b, "| %s | %d | %.2f | %s |\n", c.Name, c.Grants, c.CPUUnits, avail)
+		}
+		b.WriteString("\n")
+	}
+
+	if rp.HasTrace {
+		b.WriteString("## Failover / retry latency (trace spans)\n\n")
+		b.WriteString("| span | count | min us | mean us | max us |\n|---|---:|---:|---:|---:|\n")
+		writeDist := func(name string, d LatencyDist) {
+			fmt.Fprintf(&b, "| %s | %d | %.1f | %.1f | %.1f |\n",
+				name, d.Count, d.MinUS, d.MeanUS, d.MaxUS)
+		}
+		writeDist("acquire.failover", rp.FailoverLatency)
+		writeDist("acquire.retry", rp.RetryLatency)
+		b.WriteString("\n")
+
+		b.WriteString("## Per-phase tick time (trace spans)\n\n")
+		b.WriteString("| span | count | total us | mean us |\n|---|---:|---:|---:|\n")
+		for _, p := range rp.Phases {
+			fmt.Fprintf(&b, "| %s | %d | %.1f | %.1f |\n", p.Name, p.Spans, p.TotalUS, p.MeanUS)
+		}
+		b.WriteString("\n")
+	}
+
+	if len(rp.Checks) > 0 {
+		b.WriteString("## Consistency checks\n\n")
+		for _, c := range rp.Checks {
+			status := "OK"
+			if !c.OK {
+				status = fmt.Sprintf("MISMATCH (want %s, got %s)", c.Want, c.Got)
+			}
+			fmt.Fprintf(&b, "- %s: %s\n", c.Name, status)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -590,8 +590,11 @@ func Run(cfg Config) (*Result, error) {
 	// not begin with an empty allocation (game sessions do not start
 	// cold mid-operation).
 	if !cfg.Static && resumedTick == 0 {
-		pool.For(len(zones), func(i int) {
+		ro.beginBootstrap()
+		pool.ForWorker(len(zones), func(i, w int) {
 			z := zones[i]
+			sp := ro.zoneSpan(z.tag(), 0, w)
+			defer sp.End()
 			v := z.group.Load.At(0)
 			if plan.DropSample(z.idx, 0) || math.IsNaN(v) {
 				partials[i].dropped = true
@@ -615,6 +618,7 @@ func Run(cfg Config) (*Result, error) {
 			if want.IsZero() {
 				continue
 			}
+			asp := ro.beginZoneAcquire(0, z.tag(), nil, false)
 			leases, unmet, out := matcher.AllocateDetailed(ecosystem.Request{
 				Tag:           z.tag(),
 				Origin:        z.region.Location,
@@ -624,15 +628,17 @@ func Run(cfg Config) (*Result, error) {
 			z.leases = append(z.leases, leases...)
 			resil.Rejections += out.Rejections
 			resil.PartialGrants += out.PartialGrants
-			ro.acquired(0, z.tag(), leases, out, nil)
+			ro.acquired(0, z.tag(), leases, out, nil, asp)
 			if out.Rejections > 0 && !unmet.IsZero() {
 				backOff(z, 0)
 			}
 		}
+		ro.endBootstrap()
 	}
 
 	for t := resumedTick + 1; t < samples; t++ {
 		tickStart := ro.now()
+		ro.beginTick(t, "tick", tickStart)
 		now := start.Add(time.Duration(t) * tick)
 		applyFailures(t)
 		if !cfg.Static {
@@ -640,6 +646,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		final := t == samples-1
 		phaseStart := ro.now()
+		ro.beginObserve(phaseStart)
 
 		// Phase 1 (parallel per-zone): score the allocation in force
 		// against the actual demand, observe the new sample, and size
@@ -647,8 +654,10 @@ func Run(cfg Config) (*Result, error) {
 		// Monitoring dropouts are decided by a stateless hash of
 		// (seed, zone, tick), so parallel workers never contend on a
 		// random stream.
-		pool.For(len(zones), func(i int) {
+		pool.ForWorker(len(zones), func(i, w int) {
 			z := zones[i]
+			sp := ro.zoneSpan(z.tag(), t, w)
+			defer sp.End()
 			pt := &partials[i]
 			if cfg.Static {
 				pt.alloc = z.staticAlloc
@@ -722,6 +731,7 @@ func Run(cfg Config) (*Result, error) {
 			machines = 1
 		}
 		event := false
+		worstUnder := 0.0
 		for r := 0; r < int(datacenter.NumResources); r++ {
 			if load[r] > 0 {
 				overSum[r] += (alloc[r]/load[r] - 1) * 100
@@ -732,10 +742,13 @@ func Run(cfg Config) (*Result, error) {
 			if u < -SignificantUnderPct {
 				event = true
 			}
+			if u < worstUnder {
+				worstUnder = u
+			}
 		}
 		if event {
 			res.Events++
-			ro.disruptiveTick()
+			ro.breach(t, worstUnder)
 		}
 		tracker.serviceHealthy(t, !event)
 		res.CumEvents = append(res.CumEvents, res.Events)
@@ -799,6 +812,7 @@ func Run(cfg Config) (*Result, error) {
 		// leases died with a failed center this tick already includes
 		// the loss, so the same acquisition doubles as the failover
 		// re-acquisition — excluding the centers that dropped it.
+		ro.beginAcquireSpan(reduceDone)
 		anyUnmet := false
 		for _, z := range acquireOrder {
 			lost := lostCenters[z.idx]
@@ -816,9 +830,11 @@ func Run(cfg Config) (*Result, error) {
 			if need.IsZero() {
 				continue
 			}
-			if z.retries > 0 {
+			retry := z.retries > 0
+			asp := ro.beginZoneAcquire(t, z.tag(), lost, retry)
+			if retry {
 				resil.Retries++
-				ro.retried(t, z.tag())
+				ro.retried(t, z.tag(), asp)
 			}
 			leases, unmet, out := matcher.AllocateDetailed(ecosystem.Request{
 				Tag:           z.tag(),
@@ -830,7 +846,7 @@ func Run(cfg Config) (*Result, error) {
 			z.leases = append(z.leases, leases...)
 			resil.Rejections += out.Rejections
 			resil.PartialGrants += out.PartialGrants
-			ro.acquired(t, z.tag(), leases, out, lost)
+			ro.acquired(t, z.tag(), leases, out, lost, asp)
 			if len(lost) > 0 {
 				resil.Failovers++
 				resil.FailoverLeases += len(leases)

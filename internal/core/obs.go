@@ -60,6 +60,25 @@ type runObs struct {
 	poolHelper *obs.Counter
 	poolSkips  *obs.Counter
 	lastPool   par.Stats
+
+	// Span tracing (nil trc disables it; every span helper is then a
+	// no-op with no clock reads). tickSp/obsSp/acqSp are the live
+	// enclosing spans of the sequential control path; the parallel
+	// per-zone phase only reads obsSp's ID, which is written before the
+	// pool fans out.
+	trc     *obs.Tracer
+	tickSp  *obs.Span
+	obsSp   *obs.Span
+	acqSp   *obs.Span
+	curTick int
+	// lastReject chains a retry span back to the rejection that caused
+	// the backoff; outageDepth/outageWin track the open async outage
+	// window per center (overlapping windows compose by depth, like the
+	// engine's refcounted center health).
+	lastReject  map[string]obs.SpanID
+	outageDepth map[string]int
+	outageWin   map[string]obs.SpanID
+	outageName  map[string]string
 }
 
 // newRunObs registers the engine's metric families; a nil bundle
@@ -133,6 +152,14 @@ func newRunObs(o *obs.Obs) *runObs {
 		"Per-zone work items executed, by executor.", obs.L("executor", "helper"))
 	ro.poolSkips = r.Counter("mmogdc_pool_helper_skips_total",
 		"Helper dispatches skipped because every resident worker was busy.")
+
+	if o.Tracer != nil {
+		ro.trc = o.Tracer
+		ro.lastReject = map[string]obs.SpanID{}
+		ro.outageDepth = map[string]int{}
+		ro.outageWin = map[string]obs.SpanID{}
+		ro.outageName = map[string]string{}
+	}
 	return ro
 }
 
@@ -144,6 +171,66 @@ func (ro *runObs) now() time.Time {
 	return ro.o.Now()
 }
 
+// beginTick opens the tick's root span at the already-measured tick
+// start (name "tick", or "bootstrap" for the pre-loop provisioning).
+func (ro *runObs) beginTick(t int, name string, start time.Time) {
+	if ro == nil {
+		return
+	}
+	ro.curTick = t
+	if ro.trc == nil {
+		return
+	}
+	ro.tickSp = ro.trc.BeginAt(name, "tick", 0, start)
+	ro.tickSp.SetTick(t)
+}
+
+// beginBootstrap opens the pre-loop bootstrap span (tick 0); the
+// per-zone predict and acquire spans of the bootstrap hang off it.
+func (ro *runObs) beginBootstrap() {
+	if ro == nil || ro.trc == nil {
+		return
+	}
+	ro.beginTick(0, "bootstrap", ro.o.Now())
+	ro.obsSp = ro.tickSp
+	ro.acqSp = ro.tickSp
+}
+
+// endBootstrap closes the bootstrap span.
+func (ro *runObs) endBootstrap() {
+	if ro == nil || ro.trc == nil {
+		return
+	}
+	ro.obsSp, ro.acqSp = nil, nil
+	ro.tickSp.End()
+	ro.tickSp = nil
+}
+
+// beginObserve opens the observe/predict phase span at the phase's
+// already-measured start; the per-zone predict spans parent to it.
+func (ro *runObs) beginObserve(start time.Time) {
+	if ro == nil || ro.trc == nil {
+		return
+	}
+	ro.obsSp = ro.trc.BeginAt("phase.observe", "tick", ro.tickSp.ID(), start)
+	ro.obsSp.SetTick(ro.curTick)
+}
+
+// zoneSpan opens one per-zone predict span, annotated with the zone
+// tag and the pool worker index executing it. Safe to call from the
+// parallel phase: it only reads obsSp's ID (written before the fan-
+// out) and the tracer serializes its own appends.
+func (ro *runObs) zoneSpan(tag string, t, worker int) *obs.Span {
+	if ro == nil || ro.trc == nil {
+		return nil
+	}
+	sp := ro.trc.Begin("predict", "zone", ro.obsSp.ID())
+	sp.SetSubject(tag)
+	sp.SetTick(t)
+	sp.SetWorker(worker)
+	return sp
+}
+
 // observeDone, reduceDone, and acquireDone record one phase's
 // duration. Phase selection happens inside the method: an argument of
 // ro.phaseObserve at the call site would dereference a nil ro.
@@ -152,6 +239,10 @@ func (ro *runObs) observeDone(from, to time.Time) {
 		return
 	}
 	ro.phaseObserve.Observe(to.Sub(from).Seconds())
+	if ro.obsSp != nil {
+		ro.obsSp.EndAt(to)
+		ro.obsSp = nil
+	}
 }
 
 func (ro *runObs) reduceDone(from, to time.Time) {
@@ -159,6 +250,49 @@ func (ro *runObs) reduceDone(from, to time.Time) {
 		return
 	}
 	ro.phaseReduce.Observe(to.Sub(from).Seconds())
+	if ro.trc != nil {
+		ro.trc.Complete(obs.SpanRec{
+			Name: "phase.reduce", Cat: "tick", Parent: ro.tickSp.ID(),
+			Tick: ro.curTick, Start: from, End: to,
+		})
+	}
+}
+
+// beginAcquireSpan opens the acquire phase span at the reduce phase's
+// end; the per-zone acquire spans parent to it.
+func (ro *runObs) beginAcquireSpan(start time.Time) {
+	if ro == nil || ro.trc == nil {
+		return
+	}
+	ro.acqSp = ro.trc.BeginAt("phase.acquire", "tick", ro.tickSp.ID(), start)
+	ro.acqSp.SetTick(ro.curTick)
+}
+
+// beginZoneAcquire opens one zone's acquisition span. A failover links
+// to the open outage window of the first center that dropped the zone;
+// a retry links to the rejection span it backs off from — the
+// failover→retry causality chains the audit tool follows.
+func (ro *runObs) beginZoneAcquire(t int, tag string, lost []string, retry bool) *obs.Span {
+	if ro == nil || ro.trc == nil {
+		return nil
+	}
+	name := "acquire"
+	switch {
+	case len(lost) > 0:
+		name = "acquire.failover"
+	case retry:
+		name = "acquire.retry"
+	}
+	sp := ro.trc.Begin(name, "zone", ro.acqSp.ID())
+	sp.SetSubject(tag)
+	sp.SetTick(t)
+	switch {
+	case len(lost) > 0:
+		sp.SetLink(ro.outageWin[lost[0]])
+	case retry:
+		sp.SetLink(ro.lastReject[tag])
+	}
+	return sp
 }
 
 func (ro *runObs) acquireDone(from, to time.Time) {
@@ -166,6 +300,10 @@ func (ro *runObs) acquireDone(from, to time.Time) {
 		return
 	}
 	ro.phaseAcquire.Observe(to.Sub(from).Seconds())
+	if ro.acqSp != nil {
+		ro.acqSp.EndAt(to)
+		ro.acqSp = nil
+	}
 }
 
 // tickDone closes out one tick: total duration, gauges, tick counter,
@@ -175,6 +313,10 @@ func (ro *runObs) tickDone(t int, from, to time.Time, allocCPU, loadCPU, overPct
 		return
 	}
 	ro.tickDur.Observe(to.Sub(from).Seconds())
+	if ro.tickSp != nil {
+		ro.tickSp.EndAt(to)
+		ro.tickSp = nil
+	}
 	ro.ticks.Inc()
 	ro.tickGauge.Set(float64(t))
 	ro.allocCPU.Set(allocCPU)
@@ -189,21 +331,38 @@ func (ro *runObs) tickDone(t int, from, to time.Time, allocCPU, loadCPU, overPct
 }
 
 // outage records one center losing capacity (fraction is the share
-// that vanished; >= 1 means fully offline).
+// that vanished; >= 1 means fully offline). The first overlapping
+// window for a center opens an async outage track in the trace;
+// further overlapping windows only deepen it.
 func (ro *runObs) outage(t int, center string, fraction float64) {
 	if ro == nil {
 		return
 	}
+	name := obs.EventOutage
 	if fraction >= 1 {
 		ro.outagesFull.Inc()
-		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventOutage, Subject: center})
 	} else {
 		ro.outagesPartial.Inc()
-		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventDegrade, Subject: center, Value: fraction})
+		name = obs.EventDegrade
 	}
+	var span obs.SpanID
+	if ro.trc != nil {
+		if ro.outageDepth[center] == 0 {
+			ro.outageWin[center] = ro.trc.AsyncBegin(name, "faults", center, t, fraction)
+			ro.outageName[center] = name
+		}
+		ro.outageDepth[center]++
+		span = ro.outageWin[center]
+	}
+	e := obs.Event{Tick: t, Kind: name, Subject: center, Span: span}
+	if fraction < 1 {
+		e.Value = fraction
+	}
+	ro.o.Recorder.Record(e)
 }
 
-// recovery records capacity returning to a center.
+// recovery records capacity returning to a center; the last recovery
+// of a composed window closes the async outage track.
 func (ro *runObs) recovery(t int, center string, fraction float64) {
 	if ro == nil {
 		return
@@ -213,7 +372,21 @@ func (ro *runObs) recovery(t int, center string, fraction float64) {
 	if fraction < 1 {
 		kind = obs.EventRestore
 	}
-	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: kind, Subject: center, Value: fraction})
+	var span obs.SpanID
+	if ro.trc != nil {
+		span = ro.outageWin[center]
+		if d := ro.outageDepth[center]; d > 0 {
+			ro.outageDepth[center] = d - 1
+			if d == 1 {
+				// The async end must repeat the begin's name (trace_event
+				// pairs b/e records by name+cat+id).
+				ro.trc.AsyncEnd(span, ro.outageName[center], "faults", center, t)
+				delete(ro.outageWin, center)
+				delete(ro.outageName, center)
+			}
+		}
+	}
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: kind, Subject: center, Value: fraction, Span: span})
 }
 
 // droppedSample records one monitoring dropout.
@@ -222,54 +395,79 @@ func (ro *runObs) droppedSample(t int, tag string) {
 		return
 	}
 	ro.droppedSamples.Inc()
-	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventDropped, Subject: tag})
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventDropped, Subject: tag, Span: ro.tickSp.ID()})
 }
 
-// retried records one backed-off re-attempt.
-func (ro *runObs) retried(t int, tag string) {
+// retried records one backed-off re-attempt, stamped with the zone's
+// acquire span (which links back to the rejection it retries).
+func (ro *runObs) retried(t int, tag string, sp *obs.Span) {
 	if ro == nil {
 		return
 	}
 	ro.retries.Inc()
-	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventRetry, Subject: tag})
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventRetry, Subject: tag, Span: sp.ID()})
 }
 
 // acquired records the outcome of one AllocateDetailed call: grants,
-// injected rejections/trims, and the failover case.
-func (ro *runObs) acquired(t int, tag string, leases []*datacenter.Lease, out ecosystem.Outcome, lost []string) {
+// injected rejections/trims, and the failover case — and closes the
+// zone's acquire span, remembering rejection spans so the next retry
+// links to them.
+func (ro *runObs) acquired(t int, tag string, leases []*datacenter.Lease, out ecosystem.Outcome, lost []string, sp *obs.Span) {
 	if ro == nil {
 		return
 	}
+	span := sp.ID()
 	ro.rejections.Add(int64(out.Rejections))
 	ro.partialGrants.Add(int64(out.PartialGrants))
 	if out.Rejections > 0 {
-		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventRejection, Subject: tag, Value: float64(out.Rejections)})
+		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventRejection, Subject: tag, Value: float64(out.Rejections), Span: span})
+		if ro.lastReject != nil && span != 0 {
+			ro.lastReject[tag] = span
+		}
 	}
 	if len(leases) > 0 {
 		ro.grants.Inc()
 		ro.grantLeases.Add(int64(len(leases)))
 		cpu := 0.0
+		var centers []string
 		for _, l := range leases {
 			cpu += l.Alloc[datacenter.CPU]
+			seen := false
+			for _, c := range centers {
+				if c == l.Center.Name {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				centers = append(centers, l.Center.Name)
+			}
 		}
-		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventGrant, Subject: tag, Value: cpu})
+		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventGrant, Subject: tag,
+			Detail: "centers: " + strings.Join(centers, ","), Value: cpu, Span: span})
 	}
 	if len(lost) > 0 {
 		ro.failovers.Inc()
 		ro.failoverLeases.Add(int64(len(leases)))
 		ro.o.Recorder.Record(obs.Event{
 			Tick: t, Kind: obs.EventFailover, Subject: tag,
-			Detail: "lost: " + strings.Join(lost, ","), Value: float64(len(leases)),
+			Detail: "lost: " + strings.Join(lost, ","), Value: float64(len(leases)), Span: span,
 		})
 	}
+	sp.SetValue(float64(len(leases)))
+	sp.End()
 }
 
-// disruptiveTick records one tick with a significant under-allocation.
-func (ro *runObs) disruptiveTick() {
+// breach records one tick with a significant under-allocation: the
+// disruptive-tick counter plus an sla_breach event carrying the worst
+// per-resource under-allocation, the datum mmogaudit's episode
+// detection replays.
+func (ro *runObs) breach(t int, worstUnderPct float64) {
 	if ro == nil {
 		return
 	}
 	ro.disruptive.Inc()
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventBreach, Value: worstUnderPct, Span: ro.tickSp.ID()})
 }
 
 // unmetTick records one tick with unserved demand.
@@ -289,7 +487,9 @@ func (ro *runObs) resumed(tick int) {
 }
 
 // checkpointed records one checkpoint write: encode latency (encStart
-// to encDone), write latency (encDone to done), size, and the event.
+// to encDone), write latency (encDone to done), size, and the event —
+// plus two child spans of the tick when tracing, reusing the already-
+// measured boundaries.
 func (ro *runObs) checkpointed(t, bytes int, encStart, encDone, done time.Time) {
 	if ro == nil {
 		return
@@ -297,7 +497,19 @@ func (ro *runObs) checkpointed(t, bytes int, encStart, encDone, done time.Time) 
 	ro.ckptEncode.Observe(encDone.Sub(encStart).Seconds())
 	ro.ckptWrite.Observe(done.Sub(encDone).Seconds())
 	ro.ckptWrites.Inc()
-	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventCheckpoint, Value: float64(bytes)})
+	var span obs.SpanID
+	if ro.trc != nil {
+		parent := ro.tickSp.ID()
+		ro.trc.Complete(obs.SpanRec{
+			Name: "checkpoint.encode", Cat: "checkpoint", Parent: parent,
+			Tick: t, Start: encStart, End: encDone,
+		})
+		span = ro.trc.Complete(obs.SpanRec{
+			Name: "checkpoint.write", Cat: "checkpoint", Parent: parent,
+			Tick: t, Value: float64(bytes), Start: encDone, End: done,
+		})
+	}
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventCheckpoint, Value: float64(bytes), Span: span})
 }
 
 // finish bridges the end-of-run aggregates that only exist as Result

@@ -29,8 +29,9 @@ func obsConfig(workers int, o *obs.Obs) Config {
 }
 
 // TestObsRunBitIdentical is the write-only contract of the telemetry
-// layer: enabling observability must not change a single bit of the
-// Result, on a run that exercises every instrumented path.
+// layer: enabling observability — including span tracing — must not
+// change a single bit of the Result, on a run that exercises every
+// instrumented path.
 func TestObsRunBitIdentical(t *testing.T) {
 	plain, err := Run(obsConfig(2, nil))
 	if err != nil {
@@ -38,6 +39,7 @@ func TestObsRunBitIdentical(t *testing.T) {
 	}
 	o := obs.New()
 	o.Clock = obs.NewManualClock(time.Unix(0, 0), time.Millisecond)
+	o.EnableTracing(0)
 	instrumented, err := Run(obsConfig(2, o))
 	if err != nil {
 		t.Fatal(err)
@@ -46,6 +48,101 @@ func TestObsRunBitIdentical(t *testing.T) {
 	if plain.Resilience.Failovers == 0 || plain.Resilience.Rejections == 0 ||
 		plain.Resilience.DroppedSamples == 0 {
 		t.Fatalf("degenerate fault scenario: %+v", plain.Resilience)
+	}
+	if o.Tracer.Len() == 0 {
+		t.Fatal("tracing was enabled but captured no spans")
+	}
+}
+
+// TestObsTraceCapturesEngineStructure pins the span families the
+// engine emits: per-tick roots with phase children, per-zone predict
+// spans carrying worker indices, zone acquire spans (including
+// failover and retry variants), and async outage windows.
+func TestObsTraceCapturesEngineStructure(t *testing.T) {
+	o := obs.New()
+	o.Clock = obs.NewManualClock(time.Unix(0, 0), time.Millisecond)
+	o.Recorder = obs.NewRecorder(1 << 17)
+	o.EnableTracing(0)
+	res, err := Run(obsConfig(1, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byName := map[string]int{}
+	linkedFailovers, linkedRetries, asyncBegins, asyncEnds := 0, 0, 0, 0
+	byID := map[obs.SpanID]obs.SpanRec{}
+	for _, r := range o.Tracer.Records() {
+		byName[r.Name]++
+		switch r.Phase {
+		case obs.PhaseAsyncBegin:
+			asyncBegins++
+		case obs.PhaseAsyncEnd:
+			asyncEnds++
+		default:
+			byID[r.ID] = r
+		}
+		if r.Link != 0 {
+			switch r.Name {
+			case "acquire.failover":
+				linkedFailovers++
+			case "acquire.retry":
+				linkedRetries++
+			}
+		}
+	}
+	if byName["tick"] != res.Ticks {
+		t.Errorf("tick spans = %d, want %d", byName["tick"], res.Ticks)
+	}
+	if byName["bootstrap"] != 1 {
+		t.Errorf("bootstrap spans = %d, want 1", byName["bootstrap"])
+	}
+	if byName["phase.observe"] != res.Ticks || byName["phase.reduce"] != res.Ticks {
+		t.Errorf("phase spans observe=%d reduce=%d, want %d each",
+			byName["phase.observe"], byName["phase.reduce"], res.Ticks)
+	}
+	// The final tick skips the acquire phase.
+	if byName["phase.acquire"] != res.Ticks-1 {
+		t.Errorf("phase.acquire spans = %d, want %d", byName["phase.acquire"], res.Ticks-1)
+	}
+	if byName["predict"] == 0 || byName["acquire"] == 0 {
+		t.Errorf("missing per-zone spans: %v", byName)
+	}
+	if byName["acquire.failover"] == 0 || linkedFailovers == 0 {
+		t.Errorf("failover spans = %d (linked %d), want > 0", byName["acquire.failover"], linkedFailovers)
+	}
+	if byName["acquire.retry"] == 0 || linkedRetries == 0 {
+		t.Errorf("retry spans = %d (linked %d), want > 0", byName["acquire.retry"], linkedRetries)
+	}
+	if asyncBegins == 0 || asyncEnds == 0 || asyncEnds > asyncBegins {
+		t.Errorf("async windows: %d begins, %d ends", asyncBegins, asyncEnds)
+	}
+
+	// Every predict span parents to a phase.observe (or bootstrap)
+	// span of the same tick.
+	for _, r := range byID {
+		if r.Name != "predict" {
+			continue
+		}
+		p, ok := byID[r.Parent]
+		if !ok || (p.Name != "phase.observe" && p.Name != "bootstrap") || p.Tick != r.Tick {
+			t.Fatalf("predict span %+v has parent %+v", r, p)
+		}
+	}
+
+	// Events carry their enclosing span and a strict Seq total order.
+	var lastSeq uint64
+	stamped := 0
+	for _, e := range o.Recorder.Events() {
+		if e.Seq != lastSeq+1 {
+			t.Fatalf("event seq %d follows %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		if e.Span != 0 {
+			stamped++
+		}
+	}
+	if stamped == 0 {
+		t.Error("no event carries a span ID")
 	}
 }
 

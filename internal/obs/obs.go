@@ -3,22 +3,41 @@ package obs
 import "time"
 
 // Obs bundles one run's observability: the metrics registry, the
-// flight recorder, and the clock that times instrumented sections.
-// A nil *Obs disables everything — the accessors return nil
-// instruments whose methods are allocation-free no-ops, so engines
-// thread a single pointer and never branch per metric.
+// flight recorder, the optional span tracer, and the clock that times
+// instrumented sections. A nil *Obs disables everything — the
+// accessors return nil instruments whose methods are allocation-free
+// no-ops, so engines thread a single pointer and never branch per
+// metric.
 type Obs struct {
 	Registry *Registry
 	Recorder *Recorder
+	// Tracer records causally-linked spans when non-nil. Tracing is
+	// opt-in (EnableTracing) even on an otherwise enabled bundle: span
+	// recording is heavier than counters, and a nil Tracer keeps the
+	// span call sites allocation-free.
+	Tracer *Tracer
 	// Clock times instrumented sections; nil falls back to System.
 	// Tests inject a ManualClock for deterministic latency histograms.
 	Clock Clock
 }
 
 // New builds an enabled observability bundle with a fresh registry, a
-// default-capacity flight recorder, and the system clock.
+// default-capacity flight recorder, and the system clock. Tracing
+// stays off until EnableTracing.
 func New() *Obs {
 	return &Obs{Registry: NewRegistry(), Recorder: NewRecorder(0), Clock: System}
+}
+
+// EnableTracing attaches a span tracer retaining up to capacity
+// records (<= 0 uses DefaultTracerCapacity), sharing the bundle's
+// clock, and returns it.
+func (o *Obs) EnableTracing(capacity int) *Tracer {
+	if o == nil {
+		return nil
+	}
+	o.Tracer = NewTracer(capacity)
+	o.Tracer.Clock = o.Clock
+	return o.Tracer
 }
 
 // Reg returns the registry (nil when disabled).
@@ -35,6 +54,30 @@ func (o *Obs) Rec() *Recorder {
 		return nil
 	}
 	return o.Recorder
+}
+
+// Trc returns the span tracer (nil when disabled or tracing is off).
+func (o *Obs) Trc() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// SyncRecorderGauges publishes the recorder's loss accounting —
+// ring-overwritten events and failed sink writes — as gauges, so a
+// /metrics scrape or -metrics-out snapshot makes silent event loss
+// visible. Called by the HTTP handler at scrape time and by summary
+// writers before snapshotting.
+func (o *Obs) SyncRecorderGauges() {
+	if o == nil {
+		return
+	}
+	rec := o.Recorder
+	o.Registry.Gauge("mmogdc_recorder_dropped_events",
+		"Flight-recorder events overwritten by the bounded ring.").Set(float64(rec.Dropped()))
+	o.Registry.Gauge("mmogdc_recorder_sink_errors",
+		"Flight-recorder JSONL sink writes that failed.").Set(float64(rec.SinkErrs()))
 }
 
 // Now reads the bundle's clock. Disabled bundles return the zero Time

@@ -10,28 +10,35 @@ import (
 // what happened (Kind), to whom (Subject — a center name or zone tag),
 // when (Tick), with an optional free-form Detail and numeric Value
 // whose meaning depends on the kind (granted CPU units, outage
-// fraction, checkpoint bytes, ...).
+// fraction, checkpoint bytes, ...). Seq is the event's position in the
+// recorder's total order (assigned by Record, starting at 1), so a
+// JSONL replay stays totally ordered across ring overwrites; Span is
+// the ID of the enclosing tracer span when tracing was on, so events
+// and spans cross-reference.
 type Event struct {
+	Seq     uint64  `json:"seq"`
 	Tick    int     `json:"tick"`
 	Kind    string  `json:"kind"`
 	Subject string  `json:"subject,omitempty"`
 	Detail  string  `json:"detail,omitempty"`
 	Value   float64 `json:"value,omitempty"`
+	Span    SpanID  `json:"span,omitempty"`
 }
 
 // Event kinds recorded by the provisioning engines.
 const (
-	EventGrant      = "grant"       // leases acquired (Value: CPU units granted)
-	EventRejection  = "rejection"   // injected grant rejections hit (Value: count)
-	EventFailover   = "failover"    // same-tick re-acquisition of lost capacity (Value: leases won)
-	EventRetry      = "retry"       // backed-off re-attempt after rejections
-	EventOutage     = "outage"      // a center went fully offline
-	EventDegrade    = "degrade"     // a center lost a fraction of machines (Value: surviving fraction)
-	EventRecover    = "recover"     // a center returned to full health
-	EventRestore    = "restore"     // partial capacity restored (Value: fraction back)
+	EventGrant      = "grant"          // leases acquired (Value: CPU units granted)
+	EventRejection  = "rejection"      // injected grant rejections hit (Value: count)
+	EventFailover   = "failover"       // same-tick re-acquisition of lost capacity (Value: leases won)
+	EventRetry      = "retry"          // backed-off re-attempt after rejections
+	EventOutage     = "outage"         // a center went fully offline
+	EventDegrade    = "degrade"        // a center lost a fraction of machines (Value: surviving fraction)
+	EventRecover    = "recover"        // a center returned to full health
+	EventRestore    = "restore"        // partial capacity restored (Value: fraction back)
 	EventDropped    = "dropped_sample" // a monitoring sample was lost (LOCF carried forward)
-	EventCheckpoint = "checkpoint"  // a checkpoint was written (Value: payload bytes)
-	EventResume     = "resume"      // the run resumed from a checkpoint (Value: tick)
+	EventCheckpoint = "checkpoint"     // a checkpoint was written (Value: payload bytes)
+	EventResume     = "resume"         // the run resumed from a checkpoint (Value: tick)
+	EventBreach     = "sla_breach"     // a tick with significant under-allocation (Value: worst Y%, <= 0)
 )
 
 // Recorder is a bounded ring buffer of Events — the flight recorder.
@@ -74,12 +81,15 @@ func (r *Recorder) SetSink(w io.Writer) {
 	r.mu.Unlock()
 }
 
-// Record appends one event.
+// Record appends one event, assigning its Seq (the recorder's total
+// order, starting at 1) under the lock so retained events and sink
+// lines share one numbering even after the ring wraps.
 func (r *Recorder) Record(e Event) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	e.Seq = r.total + 1
 	r.buf[r.next] = e
 	r.next++
 	if r.next == len(r.buf) {

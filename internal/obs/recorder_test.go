@@ -103,3 +103,50 @@ func TestRecorderConcurrent(t *testing.T) {
 		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
 	}
 }
+
+// TestRecorderSeqTotalOrder pins the Seq contract: Record assigns 1,
+// 2, 3, ... in record order, and after the ring wraps the retained
+// events carry exactly the seqs (Dropped()+1 .. Total()] — so Dropped
+// and the retained numbering can never disagree.
+func TestRecorderSeqTotalOrder(t *testing.T) {
+	var sink strings.Builder
+	r := NewRecorder(4)
+	r.SetSink(&sink)
+	for i := 0; i < 11; i++ {
+		r.Record(Event{Tick: i, Kind: EventGrant})
+	}
+	if r.Total() != 11 || r.Dropped() != 7 {
+		t.Fatalf("total=%d dropped=%d, want 11/7", r.Total(), r.Dropped())
+	}
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d, want 4", len(events))
+	}
+	for i, e := range events {
+		want := r.Dropped() + uint64(i) + 1
+		if e.Seq != want {
+			t.Fatalf("retained[%d].Seq = %d, want %d (events: %+v)", i, e.Seq, want, events)
+		}
+	}
+	if last := events[len(events)-1].Seq; last != r.Total() {
+		t.Fatalf("newest seq = %d, want Total() = %d", last, r.Total())
+	}
+
+	// The sink saw every event, seqs 1..Total in order, even the ones
+	// the ring overwrote.
+	var seq uint64
+	sc := bufio.NewScanner(strings.NewReader(sink.String()))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		if e.Seq != seq {
+			t.Fatalf("sink line %d has seq %d", seq, e.Seq)
+		}
+	}
+	if seq != r.Total() {
+		t.Fatalf("sink saw %d events, want %d", seq, r.Total())
+	}
+}

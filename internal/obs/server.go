@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -46,19 +47,49 @@ func (o *Obs) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.SyncRecorderGauges()
 		o.Reg().WritePrometheus(w)
 	})
-	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	// Encode failures (usually the scraper hanging up mid-response) are
+	// counted in the registry rather than spamming a log.
+	encodeErrs := o.Reg().Counter("mmogdc_obs_http_encode_errors_total",
+		"HTTP responses the observability server failed to encode or write.")
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		since := 0
+		if s := q.Get("since"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "since: not an integer: "+s, http.StatusBadRequest)
+				return
+			}
+			since = n
+		}
+		kind := q.Get("kind")
 		rec := o.Rec()
+		events := rec.Events()
+		if kind != "" || since > 0 {
+			kept := events[:0]
+			for _, e := range events {
+				if (kind == "" || e.Kind == kind) && e.Tick >= since {
+					kept = append(kept, e)
+				}
+			}
+			events = kept
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		doc := map[string]any{
-			"total":   rec.Total(),
-			"dropped": rec.Dropped(),
-			"events":  rec.Events(),
+			"total":     rec.Total(),
+			"dropped":   rec.Dropped(),
+			"sink_errs": rec.SinkErrs(),
+			"matched":   len(events),
+			"events":    events,
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(doc)
+		if err := enc.Encode(doc); err != nil {
+			encodeErrs.Inc()
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

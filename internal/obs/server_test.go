@@ -75,3 +75,66 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatalf("unknown path -> %d, want 404", code)
 	}
 }
+
+// TestEventsFilters covers the /events query parameters: kind narrows
+// to one event kind, since drops events before a tick, and a
+// non-integer since is a client error.
+func TestEventsFilters(t *testing.T) {
+	o := New()
+	o.Recorder.Record(Event{Tick: 1, Kind: EventGrant, Subject: "g/z1"})
+	o.Recorder.Record(Event{Tick: 5, Kind: EventOutage, Subject: "nyc"})
+	o.Recorder.Record(Event{Tick: 9, Kind: EventGrant, Subject: "g/z2"})
+
+	srv, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	fetch := func(path string) (uint64, int, []Event) {
+		t.Helper()
+		code, body := get(path)
+		if code != 200 {
+			t.Fatalf("%s -> %d: %s", path, code, body)
+		}
+		var doc struct {
+			Total   uint64  `json:"total"`
+			Matched int     `json:"matched"`
+			Events  []Event `json:"events"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("%s not JSON: %v\n%s", path, err, body)
+		}
+		return doc.Total, doc.Matched, doc.Events
+	}
+
+	if total, matched, events := fetch("/events?kind=grant"); total != 3 || matched != 2 ||
+		len(events) != 2 || events[0].Tick != 1 || events[1].Tick != 9 {
+		t.Fatalf("kind filter: total=%d matched=%d events=%+v", total, matched, events)
+	}
+	if _, matched, events := fetch("/events?since=5"); matched != 2 ||
+		events[0].Kind != EventOutage || events[1].Tick != 9 {
+		t.Fatalf("since filter: matched=%d events=%+v", matched, events)
+	}
+	if _, matched, events := fetch("/events?kind=grant&since=2"); matched != 1 ||
+		events[0].Tick != 9 {
+		t.Fatalf("combined filter: matched=%d events=%+v", matched, events)
+	}
+	if _, matched, _ := fetch("/events?kind=no-such"); matched != 0 {
+		t.Fatalf("unknown kind matched %d events", matched)
+	}
+	if code, body := get("/events?since=abc"); code != http.StatusBadRequest {
+		t.Fatalf("bad since -> %d (%s), want 400", code, body)
+	}
+}

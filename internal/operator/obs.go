@@ -15,7 +15,12 @@ import (
 // every method is a no-op on a nil receiver, and nothing the operator
 // computes ever depends on it.
 type opObs struct {
-	o *obs.Obs
+	o    *obs.Obs
+	game string
+
+	// cur is the live Observe-cycle span (nil when tracing is off);
+	// events recorded during the cycle stamp its ID.
+	cur *obs.Span
 
 	observeDur *obs.Histogram
 
@@ -40,7 +45,8 @@ func newOpObs(o *obs.Obs, game string) *opObs {
 	r := o.Registry
 	g := obs.L("game", game)
 	return &opObs{
-		o: o,
+		o:    o,
+		game: game,
 		observeDur: r.Histogram("mmogdc_operator_observe_duration_seconds",
 			"Wall-clock duration of one operator Observe cycle.", obs.TimeBuckets, g),
 		ticks: r.Counter("mmogdc_operator_ticks_total",
@@ -68,12 +74,36 @@ func newOpObs(o *obs.Obs, game string) *opObs {
 	}
 }
 
-// observed closes one Observe cycle's timing.
+// beginObserve opens one Observe cycle's span at the cycle's already-
+// measured start.
+func (oo *opObs) beginObserve(start time.Time, tick int) {
+	if oo == nil || oo.o.Tracer == nil {
+		return
+	}
+	oo.cur = oo.o.Tracer.BeginAt("operator.observe", "operator", 0, start)
+	oo.cur.SetSubject(oo.game)
+	oo.cur.SetTick(tick)
+}
+
+// span returns the live Observe span's ID (zero when tracing is off).
+func (oo *opObs) span() obs.SpanID {
+	if oo == nil {
+		return 0
+	}
+	return oo.cur.ID()
+}
+
+// observed closes one Observe cycle's timing and span.
 func (oo *opObs) observed(start time.Time) {
 	if oo == nil {
 		return
 	}
-	oo.observeDur.Observe(oo.o.Now().Sub(start).Seconds())
+	end := oo.o.Now()
+	oo.observeDur.Observe(end.Sub(start).Seconds())
+	if oo.cur != nil {
+		oo.cur.EndAt(end)
+		oo.cur = nil
+	}
 }
 
 // now reads the obs clock (zero Time when disabled).
@@ -94,11 +124,15 @@ func (oo *opObs) tick(have, load float64) {
 	oo.loadCPU.Set(load)
 }
 
-func (oo *opObs) disruptiveTick() {
+// disruptiveTick records one snapshot whose shortfall breached the 1%
+// threshold, with the breach magnitude for post-run episode detection.
+func (oo *opObs) disruptiveTick(tick int, underPct float64) {
 	if oo == nil {
 		return
 	}
 	oo.disruptive.Inc()
+	oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventBreach,
+		Subject: oo.game, Value: underPct, Span: oo.span()})
 }
 
 func (oo *opObs) droppedSample(tick, zone int) {
@@ -107,7 +141,7 @@ func (oo *opObs) droppedSample(tick, zone int) {
 	}
 	oo.droppedSamples.Inc()
 	oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventDropped,
-		Subject: "zone " + strconv.Itoa(zone)})
+		Subject: "zone " + strconv.Itoa(zone), Span: oo.span()})
 }
 
 func (oo *opObs) retried(tick int, game string) {
@@ -115,7 +149,7 @@ func (oo *opObs) retried(tick int, game string) {
 		return
 	}
 	oo.retries.Inc()
-	oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventRetry, Subject: game})
+	oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventRetry, Subject: game, Span: oo.span()})
 }
 
 // acquired records the outcome of one AllocateDetailed call.
@@ -123,11 +157,12 @@ func (oo *opObs) acquired(tick int, game string, leases []*datacenter.Lease, out
 	if oo == nil {
 		return
 	}
+	span := oo.span()
 	oo.rejections.Add(int64(out.Rejections))
 	oo.partialGrants.Add(int64(out.PartialGrants))
 	if out.Rejections > 0 {
 		oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventRejection,
-			Subject: game, Value: float64(out.Rejections)})
+			Subject: game, Value: float64(out.Rejections), Span: span})
 	}
 	if len(leases) > 0 {
 		oo.grants.Inc()
@@ -136,13 +171,13 @@ func (oo *opObs) acquired(tick int, game string, leases []*datacenter.Lease, out
 		for _, l := range leases {
 			cpu += l.Alloc[datacenter.CPU]
 		}
-		oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventGrant, Subject: game, Value: cpu})
+		oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventGrant, Subject: game, Value: cpu, Span: span})
 	}
 	if len(lost) > 0 {
 		oo.failovers.Inc()
 		oo.o.Recorder.Record(obs.Event{
 			Tick: tick, Kind: obs.EventFailover, Subject: game,
-			Detail: "lost: " + strings.Join(lost, ","), Value: float64(len(leases)),
+			Detail: "lost: " + strings.Join(lost, ","), Value: float64(len(leases)), Span: span,
 		})
 	}
 }

@@ -151,6 +151,7 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 		o.cleanBuf = make([]float64, len(zoneLoads))
 	}
 	start := o.oo.now()
+	o.oo.beginObserve(start, o.ticks)
 	defer o.oo.observed(start)
 	o.cfg.Matcher.Expire(now)
 
@@ -182,9 +183,9 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 		if machines < 1 {
 			machines = 1
 		}
-		if short/machines*100 > 1 {
+		if u := short / machines * 100; u > 1 {
 			o.events++
-			o.oo.disruptiveTick()
+			o.oo.disruptiveTick(o.ticks, -u)
 		}
 	}
 	o.ticks++

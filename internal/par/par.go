@@ -100,13 +100,22 @@ func (p *Pool) Close() {
 // may run concurrently; fn must not assume any ordering. A panic in fn
 // is re-raised on the caller's goroutine after the loop drains.
 func (p *Pool) For(n int, fn func(i int)) {
+	p.ForWorker(n, func(i, _ int) { fn(i) })
+}
+
+// ForWorker is For with the executing worker's index passed alongside
+// each loop index: 0 is the caller's goroutine, 1..Workers()-1 the
+// resident helpers. Telemetry uses it to annotate per-index spans with
+// the worker that ran them; the index identifies an executor, it
+// promises nothing about scheduling.
+func (p *Pool) ForWorker(n int, fn func(i, worker int)) {
 	if n <= 0 {
 		return
 	}
 	p.forCalls.Add(1)
 	if p.workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, 0)
 		}
 		p.callerIndices.Add(int64(n))
 		return
@@ -117,7 +126,7 @@ func (p *Pool) For(n int, fn func(i int)) {
 		panicVal any
 		panicked bool
 	)
-	share := func(counter *atomic.Int64) {
+	share := func(counter *atomic.Int64, worker int) {
 		var done int64
 		defer func() {
 			counter.Add(done)
@@ -137,7 +146,7 @@ func (p *Pool) For(n int, fn func(i int)) {
 			if i >= int64(n) {
 				return
 			}
-			fn(int(i))
+			fn(int(i), worker)
 			done++
 		}
 	}
@@ -148,9 +157,10 @@ func (p *Pool) For(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for i := 0; i < helpers; i++ {
 		wg.Add(1)
+		worker := i + 1
 		task := func() {
 			defer wg.Done()
-			share(&p.helperIndices)
+			share(&p.helperIndices, worker)
 		}
 		select {
 		case p.tasks <- task:
@@ -161,7 +171,7 @@ func (p *Pool) For(n int, fn func(i int)) {
 			wg.Done()
 		}
 	}
-	share(&p.callerIndices)
+	share(&p.callerIndices, 0)
 	wg.Wait()
 	if panicked {
 		panic(panicVal)

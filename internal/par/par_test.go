@@ -178,3 +178,35 @@ func TestPoolStats(t *testing.T) {
 		t.Fatalf("nested indices = %d, want 18 (stats = %+v)", got, s2)
 	}
 }
+
+// TestForWorkerCoversEveryIndexWithValidWorker checks the worker-index
+// variant: every index runs exactly once, worker IDs stay inside
+// [0, Workers()), and the caller's goroutine is worker 0 on the
+// sequential path.
+func TestForWorkerCoversEveryIndexWithValidWorker(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		const n = 500
+		var mu sync.Mutex
+		count := make([]int, n)
+		seen := map[int]bool{}
+		p.ForWorker(n, func(i, w int) {
+			if w < 0 || w >= p.Workers() {
+				t.Errorf("workers=%d: worker index %d out of range", workers, w)
+			}
+			mu.Lock()
+			count[i]++
+			seen[w] = true
+			mu.Unlock()
+		})
+		for i, c := range count {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+		if workers == 1 && (len(seen) != 1 || !seen[0]) {
+			t.Fatalf("sequential pool used workers %v, want only 0", seen)
+		}
+		p.Close()
+	}
+}

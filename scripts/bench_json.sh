@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Machine-readable benchmark snapshot: run the core-engine, checkpoint,
+# and observability-overhead benchmarks with -benchmem and condense the
+# output into BENCH_core.json (name -> ns/op, B/op, allocs/op) at the
+# repo root. One iteration per benchmark keeps this cheap enough for
+# CI; the numbers are a smoke-grade snapshot, not a measurement run.
+set -eu
+cd "$(dirname "$0")/.."
+
+d=$(mktemp -d)
+trap 'rm -rf "$d"' EXIT
+
+go test -run '^$' -bench 'CoreRun|ObsOverhead' -benchtime 1x -benchmem . \
+    > "$d/bench.out"
+go test -run '^$' -bench Checkpoint -benchtime 1x -benchmem \
+    ./internal/operator/ >> "$d/bench.out"
+
+go run ./scripts/benchjson < "$d/bench.out" > BENCH_core.json
+echo "bench-json: wrote BENCH_core.json ($(grep -c '"ns_per_op"' BENCH_core.json) benchmarks)"

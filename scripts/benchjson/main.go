@@ -1,0 +1,69 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document on stdout: a map from benchmark name to its
+// ns/op and (when -benchmem is on) allocs/op and B/op. encoding/json
+// sorts map keys, so the output is deterministic modulo the measured
+// numbers — good enough to diff run-over-run in BENCH_core.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Benchmark lines look like:
+//
+//	BenchmarkCoreRun/workers=4-8   12   95054187 ns/op   1234 B/op   56 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	results := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := result{NsPerOp: ns}
+		if m[3] != "" {
+			if b, err := strconv.ParseInt(m[3], 10, 64); err == nil {
+				r.BytesPerOp = &b
+			}
+		}
+		if m[4] != "" {
+			if a, err := strconv.ParseInt(m[4], 10, 64); err == nil {
+				r.AllocsPerOp = &a
+			}
+		}
+		results[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}

@@ -1,0 +1,35 @@
+// Command scrape is a minimal HTTP GET-to-stdout used by the shell
+// smokes when curl is not installed: it fetches one URL and writes the
+// body to stdout, failing on any non-2xx status. No flags, no
+// dependencies — `go run ./scripts/scrape <url>`.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: scrape <url>")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		fmt.Fprintf(os.Stderr, "scrape: %s -> %s\n", os.Args[1], resp.Status)
+		os.Exit(1)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
