@@ -1,14 +1,17 @@
 # Repository CI targets. `make ci` is what a PR must keep green: vet,
 # build, the full test suite under the race detector (guarding the
 # parallel per-zone simulation engine in internal/core and the sweep
-# pool in internal/par), and a one-iteration benchmark smoke so the
-# BenchmarkCoreRun* variants always stay runnable.
+# pool in internal/par), and the gated benchmark snapshot (bench-json),
+# which both keeps the BenchmarkCoreRun* variants runnable and fails
+# the build when allocs/op or B/op regress >20% — or ns/op >2x, a
+# wide tripwire because wall-clock on a loaded box is noise — against
+# the committed BENCH_core.json (see scripts/benchgate).
 
 GO ?= go
 
 .PHONY: ci vet build test race bench-smoke bench bench-json chaos-smoke recovery-smoke obs-smoke
 
-ci: vet build race bench-smoke chaos-smoke recovery-smoke obs-smoke
+ci: vet build race bench-json chaos-smoke recovery-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -70,7 +73,10 @@ obs-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# Machine-readable benchmark snapshot: BENCH_core.json at the repo root
-# (name -> ns/op, B/op, allocs/op) via scripts/benchjson.
+# Machine-readable benchmark snapshot, gated against the committed
+# BENCH_core.json: refreshes the snapshot and fails on a >20%
+# allocs/op or B/op (or >2x ns/op) regression (scripts/benchjson +
+# scripts/benchgate). To accept an intentional change, commit the
+# refreshed BENCH_core.json.
 bench-json:
 	sh scripts/bench_json.sh

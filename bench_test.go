@@ -143,6 +143,8 @@ func BenchmarkCoreRunWorkers2(b *testing.B) { benchmarkCoreRun(b, 2) }
 
 func BenchmarkCoreRunWorkers4(b *testing.B) { benchmarkCoreRun(b, 4) }
 
+func BenchmarkCoreRunWorkers8(b *testing.B) { benchmarkCoreRun(b, 8) }
+
 func BenchmarkCoreRunParallel(b *testing.B) { benchmarkCoreRun(b, 0) }
 
 // ---- observability overhead (DESIGN.md §9) ----

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mmogdc/internal/predict"
+)
+
+// TestRunAllocationBudget locks in the steady-state allocation contract
+// of the tick loop. A whole Run still allocates for three legitimate
+// reasons: setup (zone state, partials, arenas, predictors, result
+// series), the lease objects the acquire phase creates as demand grows
+// (retained state, proportional to demand growth, ~1.5 objects per
+// grant here), and the parallel dispatch's O(workers) closures per
+// tick. What it must NOT do is allocate per zone per tick in the
+// observe/predict/reduce path. The budgets sit ~6k above the measured
+// totals for this configuration; the guarded regression class (one
+// allocation per zone-tick, e.g. a tag formatted inside the loop) adds
+// at least groups*samples = 11.5k objects and fails immediately.
+func TestRunAllocationBudget(t *testing.T) {
+	const (
+		groups  = 16
+		samples = 720
+	)
+	budgets := map[int]float64{1: 24000, 2: 29000, 8: 33000}
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			run := func() {
+				ds := syntheticDataset(groups, samples, 500)
+				cfg := Config{
+					Workers:   workers,
+					Centers:   fineCenters(1000),
+					Workloads: []Workload{{Game: testGame(), Dataset: ds, Predictor: predict.NewLastValue()}},
+				}
+				if _, err := Run(cfg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm up lazy runtime state outside the measurement
+			avg := testing.AllocsPerRun(3, run)
+			t.Logf("workers=%d: %.0f allocs per run (%d zones x %d ticks)", workers, avg, groups, samples)
+			if budget := budgets[workers]; avg > budget {
+				t.Errorf("workers=%d: %.0f allocs per run exceeds budget %.0f — the tick loop is allocating again", workers, avg, budget)
+			}
+		})
+	}
+}

@@ -35,12 +35,16 @@ var ErrStopped = fmt.Errorf("core: run stopped after requested tick")
 // parameters.
 type engineState struct {
 	cfg       *Config
-	zones     []*zoneState
+	zones     []zoneState
 	res       *Result
 	overSum   *[datacenter.NumResources]float64
 	underSum  *[datacenter.NumResources]float64
 	overTicks *[datacenter.NumResources]int
-	gameUnder map[string]float64
+	// gameNames lists the distinct games in workload order; gameUnder
+	// is the flat per-game under-allocation accumulator indexed the
+	// same way (zoneState.gameIdx).
+	gameNames []string
+	gameUnder []float64
 	tracker   *outageTracker
 	plan      *faults.Plan
 	samples   int
@@ -54,8 +58,8 @@ func (s *engineState) snapshot(doneTick int) ([]byte, error) {
 	e.Int(s.samples)
 	e.Bool(s.cfg.Static)
 	e.Int(len(s.zones))
-	for _, z := range s.zones {
-		e.Str(z.tag())
+	for i := range s.zones {
+		e.Str(s.zones[i].tag)
 	}
 	e.Int(len(s.cfg.Centers))
 	for _, c := range s.cfg.Centers {
@@ -73,15 +77,19 @@ func (s *engineState) snapshot(doneTick int) ([]byte, error) {
 	e.F64s(s.underSum[:])
 	e.Ints(s.overTicks[:])
 
-	names := make([]string, 0, len(s.gameUnder))
-	for name := range s.gameUnder {
-		names = append(names, name)
+	// Per-game accumulators, sorted by name for a canonical byte
+	// stream (the live accumulator is flat, in workload order).
+	gameIdx := make(map[string]int, len(s.gameNames))
+	names := make([]string, len(s.gameNames))
+	copy(names, s.gameNames)
+	for i, name := range s.gameNames {
+		gameIdx[name] = i
 	}
 	sort.Strings(names)
 	e.Int(len(names))
 	for _, name := range names {
 		e.Str(name)
-		e.F64(s.gameUnder[name])
+		e.F64(s.gameUnder[gameIdx[name]])
 	}
 
 	r := s.res.Resilience
@@ -137,13 +145,14 @@ func (s *engineState) snapshot(doneTick int) ([]byte, error) {
 	// Zones: predictor state, LOCF sample, backoff, and the lease list
 	// as (center, position) references into the books above — zone
 	// lease order also fixes float summation order.
-	for _, z := range s.zones {
+	for i := range s.zones {
+		z := &s.zones[i]
 		if z.predictor == nil {
 			e.Bool(false)
 		} else {
 			st, ok := z.predictor.(predict.Stateful)
 			if !ok {
-				return nil, fmt.Errorf("core: zone %s predictor %T is not snapshotable", z.tag(), z.predictor)
+				return nil, fmt.Errorf("core: zone %s predictor %T is not snapshotable", z.tag, z.predictor)
 			}
 			e.Bool(true)
 			e.Bytes(st.Snapshot())
@@ -160,7 +169,7 @@ func (s *engineState) snapshot(doneTick int) ([]byte, error) {
 				// yet; it contributes nothing and is dropped from the
 				// snapshot (pruning does the same next tick).
 				if !l.Released() {
-					return nil, fmt.Errorf("core: zone %s holds a live lease missing from every center", z.tag())
+					return nil, fmt.Errorf("core: zone %s holds a live lease missing from every center", z.tag)
 				}
 				continue
 			}
@@ -221,9 +230,9 @@ func (s *engineState) restore(payload []byte) (int, error) {
 	if v := d.Int(); d.Err() == nil && v != len(s.zones) {
 		return 0, fmt.Errorf("core: resume: checkpoint has %d zones, run has %d", v, len(s.zones))
 	}
-	for _, z := range s.zones {
-		if tag := d.Str(); d.Err() == nil && tag != z.tag() {
-			return 0, fmt.Errorf("core: resume: zone %q in checkpoint, %q in run", tag, z.tag())
+	for i := range s.zones {
+		if tag := d.Str(); d.Err() == nil && tag != s.zones[i].tag {
+			return 0, fmt.Errorf("core: resume: zone %q in checkpoint, %q in run", tag, s.zones[i].tag)
 		}
 	}
 	if v := d.Int(); d.Err() == nil && v != len(s.cfg.Centers) {
@@ -249,9 +258,18 @@ func (s *engineState) restore(payload []byte) (int, error) {
 	copy(s.underSum[:], d.F64s())
 	copy(s.overTicks[:], d.Ints())
 
+	gameIdx := make(map[string]int, len(s.gameNames))
+	for i, name := range s.gameNames {
+		gameIdx[name] = i
+	}
 	for i, n := 0, d.Int(); i < n && d.Err() == nil; i++ {
 		name := d.Str()
-		s.gameUnder[name] = d.F64()
+		v := d.F64()
+		gi, ok := gameIdx[name]
+		if !ok {
+			return 0, fmt.Errorf("core: resume: checkpoint accumulates unknown game %q", name)
+		}
+		s.gameUnder[gi] = v
 	}
 
 	r := s.res.Resilience
@@ -322,7 +340,8 @@ func (s *engineState) restore(payload []byte) (int, error) {
 		}
 	}
 
-	for _, z := range s.zones {
+	for i := range s.zones {
+		z := &s.zones[i]
 		hasPredictor := d.Bool()
 		var snap []byte
 		if hasPredictor {
@@ -336,25 +355,25 @@ func (s *engineState) restore(payload []byte) (int, error) {
 			break
 		}
 		if hasPredictor != (z.predictor != nil) {
-			return 0, fmt.Errorf("core: resume: zone %s predictor presence mismatch", z.tag())
+			return 0, fmt.Errorf("core: resume: zone %s predictor presence mismatch", z.tag)
 		}
 		if hasPredictor {
 			st, ok := z.predictor.(predict.Stateful)
 			if !ok {
-				return 0, fmt.Errorf("core: resume: zone %s predictor %T is not snapshotable", z.tag(), z.predictor)
+				return 0, fmt.Errorf("core: resume: zone %s predictor %T is not snapshotable", z.tag, z.predictor)
 			}
 			if err := st.Restore(snap); err != nil {
 				return fail(err)
 			}
 		}
 		if len(refs)%2 != 0 {
-			return 0, fmt.Errorf("core: resume: zone %s has a dangling lease reference", z.tag())
+			return 0, fmt.Errorf("core: resume: zone %s has a dangling lease reference", z.tag)
 		}
 		z.leases = z.leases[:0]
 		for k := 0; k+1 < len(refs); k += 2 {
 			ci, pos := refs[k], refs[k+1]
 			if ci < 0 || ci >= len(books) || pos < 0 || pos >= len(books[ci]) {
-				return 0, fmt.Errorf("core: resume: zone %s references lease (%d,%d) outside the books", z.tag(), ci, pos)
+				return 0, fmt.Errorf("core: resume: zone %s references lease (%d,%d) outside the books", z.tag, ci, pos)
 			}
 			z.leases = append(z.leases, books[ci][pos])
 		}

@@ -199,16 +199,25 @@ type CenterStats struct {
 	AllocatedByRegion map[string]float64
 }
 
-// zoneState tracks one server group during the simulation.
+// zoneState tracks one server group during the simulation. The run
+// holds all zones in one flat value slice, indexed by idx — the
+// per-tick phases walk them by index, so zone state, partials, and
+// accumulators all live in contiguous, preallocated memory.
 type zoneState struct {
 	game      *mmog.Game
 	group     *trace.Group
 	region    trace.Region
 	predictor predict.Predictor
 	leases    []*datacenter.Lease
+	// tag is the zone's request/accounting tag ("game/group"), built
+	// once at construction — the tick loop must never format it.
+	tag string
 	// idx is the zone's position in the canonical zone order — the
 	// index of its slot in the per-tick partials.
 	idx int
+	// gameIdx indexes the run's game list for the flat per-game
+	// accumulators.
+	gameIdx int
 	// static allocation (static mode only).
 	staticAlloc datacenter.Vector
 	// home is the center hosting the zone's static fleet (static mode
@@ -241,9 +250,16 @@ type zonePartial struct {
 	dropped bool
 }
 
-// tag returns the request tag for accounting.
-func (z *zoneState) tag() string {
-	return fmt.Sprintf("%s/%s", z.game.Name, z.group.Name())
+// workerArena is one pool worker's private scratch for the parallel
+// per-zone phase, padded so no two workers share a cache line. It only
+// carries quantities whose combination is order-independent (integer
+// counts); every float fold stays in the sequential reduce, which is
+// what keeps Result bit-identical across worker counts.
+type workerArena struct {
+	// dropped counts the monitoring dropouts this worker observed in
+	// the current tick.
+	dropped int64
+	_       [56]byte // pad to a 64-byte cache line
 }
 
 // activeAlloc sums the zone's live leases at time now, pruning dead
@@ -326,10 +342,16 @@ func Run(cfg Config) (*Result, error) {
 	if len(cfg.Workloads) == 0 {
 		return nil, fmt.Errorf("core: no workloads")
 	}
-	var zones []*zoneState
+	// zones is the flat zone-state arena: one value slice in canonical
+	// order, never reallocated after this setup loop (pointers into it
+	// are only taken afterwards). gameNames lists the distinct games in
+	// workload order; the per-game accumulators are flat slices indexed
+	// by zoneState.gameIdx.
+	var zones []zoneState
+	var gameNameList []string
 	samples := 0
 	gameNames := map[string]bool{}
-	for _, w := range cfg.Workloads {
+	for gi, w := range cfg.Workloads {
 		if w.Game == nil || w.Dataset == nil {
 			return nil, fmt.Errorf("core: workload needs game and dataset")
 		}
@@ -339,6 +361,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: duplicate game name %q across workloads", w.Game.Name)
 		}
 		gameNames[w.Game.Name] = true
+		gameNameList = append(gameNameList, w.Game.Name)
 		if samples == 0 {
 			samples = w.Dataset.Samples()
 		} else if w.Dataset.Samples() != samples {
@@ -349,7 +372,14 @@ func Run(cfg Config) (*Result, error) {
 			regions[r.ID] = r
 		}
 		for _, g := range w.Dataset.Groups {
-			z := &zoneState{game: w.Game, group: g, region: regions[g.RegionID], idx: len(zones)}
+			z := zoneState{
+				game:    w.Game,
+				group:   g,
+				region:  regions[g.RegionID],
+				tag:     fmt.Sprintf("%s/%s", w.Game.Name, g.Name()),
+				idx:     len(zones),
+				gameIdx: gi,
+			}
 			if !cfg.Static {
 				if w.Predictor == nil {
 					return nil, fmt.Errorf("core: dynamic mode needs a predictor for game %s", w.Game.Name)
@@ -395,7 +425,8 @@ func Run(cfg Config) (*Result, error) {
 		// Static provisioning reproduces the industry practice the
 		// paper describes: a dedicated infrastructure sized up front
 		// for each server group's peak demand.
-		for _, z := range zones {
+		for i := range zones {
+			z := &zones[i]
 			peak := 0.0
 			for _, v := range z.group.Load.Values {
 				if v > peak {
@@ -410,8 +441,8 @@ func Run(cfg Config) (*Result, error) {
 		// sweep, where dynamic provisioning fails over but a static
 		// deployment cannot.
 		if len(cfg.Centers) > 0 {
-			for _, z := range zones {
-				z.home = cfg.Centers[z.idx%len(cfg.Centers)]
+			for i := range zones {
+				zones[i].home = cfg.Centers[i%len(cfg.Centers)]
 			}
 		}
 	}
@@ -426,27 +457,41 @@ func Run(cfg Config) (*Result, error) {
 			res.CenterStats[c.Name] = &CenterStats{AllocatedByRegion: map[string]float64{}}
 		}
 	}
+	// The per-tick series are appended to once per scored tick;
+	// preallocating their full capacity keeps the tick loop free of
+	// append growth (a resume replaces them with the restored slices).
+	res.CumEvents = make([]int, 0, samples-1)
+	res.OverPct = make([]float64, 0, samples-1)
+	res.UnderPct = make([]float64, 0, samples-1)
 
 	// Per-resource accumulators for the averages.
 	var overSum, underSum [datacenter.NumResources]float64
 	var overTicks [datacenter.NumResources]int
 
-	// Per-game CPU accumulators (scratch maps reused across ticks).
-	gameAlloc := map[string]float64{}
-	gameShort := map[string]float64{}
-	gameUnderSum := map[string]float64{}
+	// Per-game CPU accumulators: flat slices indexed by zone gameIdx,
+	// zeroed in place every tick. gameShortSet replicates the old
+	// scratch map's presence semantics — a game accumulates
+	// under-allocation this tick only if some zone actually fell short.
+	gameAlloc := make([]float64, len(gameNameList))
+	gameShort := make([]float64, len(gameNameList))
+	gameShortSet := make([]bool, len(gameNameList))
+	gameUnderSum := make([]float64, len(gameNameList))
 
 	start := zones[0].group.Load.Start
 	tick := zones[0].group.Load.Tick
 
 	// The acquire order decides who gets first pick when capacity is
 	// contended. The default is submission order; with interaction
-	// prioritization, the most compute-intensive games go first.
-	acquireOrder := zones
+	// prioritization, the most compute-intensive games go first (a
+	// stable sort of the index slice — the identical permutation the
+	// old pointer-slice sort produced).
+	acquireOrder := make([]int, len(zones))
+	for i := range acquireOrder {
+		acquireOrder[i] = i
+	}
 	if cfg.PrioritizeByInteraction {
-		acquireOrder = append([]*zoneState(nil), zones...)
 		sort.SliceStable(acquireOrder, func(i, j int) bool {
-			return acquireOrder[i].game.Update > acquireOrder[j].game.Update
+			return zones[acquireOrder[i]].game.Update > zones[acquireOrder[j]].game.Update
 		})
 	}
 
@@ -461,6 +506,11 @@ func Run(cfg Config) (*Result, error) {
 	pool := par.New(cfg.Workers)
 	defer pool.Close()
 	partials := make([]zonePartial, len(zones))
+	// Per-worker scratch arenas, one cache line each so workers never
+	// share a write-hot line. They hold the per-worker pieces of the
+	// tick that are order-independent to combine (integer counts); all
+	// float accumulation stays in the sequential reduce.
+	arenas := make([]workerArena, pool.Workers())
 
 	resil := &Resilience{Availability: map[string]float64{}}
 	res.Resilience = resil
@@ -468,8 +518,8 @@ func Run(cfg Config) (*Result, error) {
 	ro := newRunObs(cfg.Obs)
 
 	tagToZone := make(map[string]int, len(zones))
-	for _, z := range zones {
-		tagToZone[z.tag()] = z.idx
+	for i := range zones {
+		tagToZone[zones[i].tag] = i
 	}
 	// lostCenters[i] names the centers that dropped zone i's leases at
 	// the current tick — the same-tick failover re-acquires from
@@ -536,7 +586,8 @@ func Run(cfg Config) (*Result, error) {
 	es := &engineState{
 		cfg: &cfg, zones: zones, res: res,
 		overSum: &overSum, underSum: &underSum, overTicks: &overTicks,
-		gameUnder: gameUnderSum, tracker: tracker, plan: plan, samples: samples,
+		gameNames: gameNameList, gameUnder: gameUnderSum,
+		tracker: tracker, plan: plan, samples: samples,
 	}
 	var ckptMgr *checkpoint.Manager
 	ckptEvery := cfg.CheckpointEveryTicks
@@ -592,8 +643,8 @@ func Run(cfg Config) (*Result, error) {
 	if !cfg.Static && resumedTick == 0 {
 		ro.beginBootstrap()
 		pool.ForWorker(len(zones), func(i, w int) {
-			z := zones[i]
-			sp := ro.zoneSpan(z.tag(), 0, w)
+			z := &zones[i]
+			sp := ro.zoneSpan(z.tag, 0, w)
 			defer sp.End()
 			v := z.group.Load.At(0)
 			if plan.DropSample(z.idx, 0) || math.IsNaN(v) {
@@ -607,20 +658,21 @@ func Run(cfg Config) (*Result, error) {
 			predicted := sanitizePrediction(z.predictor.Predict())
 			partials[i].need = demandVector(z.game, predicted*(1+cfg.SafetyMargin))
 		})
-		for _, z := range zones {
-			if partials[z.idx].dropped {
+		for i := range zones {
+			if partials[i].dropped {
 				resil.DroppedSamples++
-				ro.droppedSample(0, z.tag())
+				ro.droppedSample(0, zones[i].tag)
 			}
 		}
-		for _, z := range acquireOrder {
-			want := partials[z.idx].need
+		for _, zi := range acquireOrder {
+			z := &zones[zi]
+			want := partials[zi].need
 			if want.IsZero() {
 				continue
 			}
-			asp := ro.beginZoneAcquire(0, z.tag(), nil, false)
+			asp := ro.beginZoneAcquire(0, z.tag, nil, false)
 			leases, unmet, out := matcher.AllocateDetailed(ecosystem.Request{
-				Tag:           z.tag(),
+				Tag:           z.tag,
 				Origin:        z.region.Location,
 				MaxDistanceKm: z.game.LatencyKm,
 				Demand:        want,
@@ -628,12 +680,75 @@ func Run(cfg Config) (*Result, error) {
 			z.leases = append(z.leases, leases...)
 			resil.Rejections += out.Rejections
 			resil.PartialGrants += out.PartialGrants
-			ro.acquired(0, z.tag(), leases, out, nil, asp)
+			ro.acquired(0, z.tag, leases, out, nil, asp)
 			if out.Rejections > 0 && !unmet.IsZero() {
 				backOff(z, 0)
 			}
 		}
 		ro.endBootstrap()
+	}
+
+	// Phase 1 (parallel per-zone) body, hoisted out of the tick loop so
+	// the fan-out allocates no per-tick closures. curTick/curNow/
+	// curFinal are written by the sequential control path before each
+	// fan-out. The body: score the allocation in force against the
+	// actual demand, observe the new sample, and size the request
+	// closing the gap to the predicted next demand. Monitoring dropouts
+	// are decided by a stateless hash of (seed, zone, tick), so
+	// parallel workers never contend on a random stream.
+	var (
+		curTick  int
+		curNow   time.Time
+		curFinal bool
+	)
+	zoneTick := func(i, w int) {
+		z := &zones[i]
+		sp := ro.zoneSpan(z.tag, curTick, w)
+		defer sp.End()
+		pt := &partials[i]
+		if cfg.Static {
+			pt.alloc = z.staticAlloc
+			if z.home != nil {
+				pt.alloc = z.staticAlloc.Scale(z.home.AvailableFraction())
+			}
+		} else {
+			pt.alloc = z.activeAlloc(curNow)
+		}
+		raw := z.group.Load.At(curTick)
+		loadVal := raw
+		if plan.DropSample(z.idx, curTick) || math.IsNaN(raw) {
+			pt.dropped = true
+			arenas[w].dropped++
+			if math.IsNaN(raw) {
+				// The sample is missing from the trace itself; the
+				// carried-forward observation is the best load
+				// estimate available for scoring.
+				loadVal = z.lastObs
+			}
+		} else {
+			pt.dropped = false
+			z.lastObs = raw
+		}
+		pt.load = demandVector(z.game, loadVal)
+		pt.need = datacenter.Vector{}
+		if cfg.Static || curFinal {
+			return
+		}
+		// Observe tick t (the last sample that arrived — dropouts
+		// carry the previous observation forward so the predictor
+		// state never ingests a hole), predict tick t+1. The
+		// request is sized against the allocation surviving to the
+		// next scoring instant, so leases renew before they lapse.
+		z.predictor.Observe(z.lastObs)
+		predicted := sanitizePrediction(z.predictor.Predict())
+		want := demandVector(z.game, predicted*(1+cfg.SafetyMargin))
+		have := z.allocAt(curNow.Add(tick))
+		pt.need = want.Sub(have).ClampNonNegative()
+	}
+	observePhase := func(lo, hi, w int) {
+		for i := lo; i < hi; i++ {
+			zoneTick(i, w)
+		}
 	}
 
 	for t := resumedTick + 1; t < samples; t++ {
@@ -648,69 +763,41 @@ func Run(cfg Config) (*Result, error) {
 		phaseStart := ro.now()
 		ro.beginObserve(phaseStart)
 
-		// Phase 1 (parallel per-zone): score the allocation in force
-		// against the actual demand, observe the new sample, and size
-		// the request closing the gap to the predicted next demand.
-		// Monitoring dropouts are decided by a stateless hash of
-		// (seed, zone, tick), so parallel workers never contend on a
-		// random stream.
-		pool.ForWorker(len(zones), func(i, w int) {
-			z := zones[i]
-			sp := ro.zoneSpan(z.tag(), t, w)
-			defer sp.End()
-			pt := &partials[i]
-			if cfg.Static {
-				pt.alloc = z.staticAlloc
-				if z.home != nil {
-					pt.alloc = z.staticAlloc.Scale(z.home.AvailableFraction())
-				}
-			} else {
-				pt.alloc = z.activeAlloc(now)
-			}
-			raw := z.group.Load.At(t)
-			loadVal := raw
-			if plan.DropSample(z.idx, t) || math.IsNaN(raw) {
-				pt.dropped = true
-				if math.IsNaN(raw) {
-					// The sample is missing from the trace itself; the
-					// carried-forward observation is the best load
-					// estimate available for scoring.
-					loadVal = z.lastObs
-				}
-			} else {
-				pt.dropped = false
-				z.lastObs = raw
-			}
-			pt.load = demandVector(z.game, loadVal)
-			pt.need = datacenter.Vector{}
-			if cfg.Static || final {
-				return
-			}
-			// Observe tick t (the last sample that arrived — dropouts
-			// carry the previous observation forward so the predictor
-			// state never ingests a hole), predict tick t+1. The
-			// request is sized against the allocation surviving to the
-			// next scoring instant, so leases renew before they lapse.
-			z.predictor.Observe(z.lastObs)
-			predicted := sanitizePrediction(z.predictor.Predict())
-			want := demandVector(z.game, predicted*(1+cfg.SafetyMargin))
-			have := z.allocAt(now.Add(tick))
-			pt.need = want.Sub(have).ClampNonNegative()
-		})
+		// Phase 1 (parallel per-zone): chunked contiguous ranges give
+		// each worker exclusive runs of the partials slice (no false
+		// sharing) and amortize the work-stealing cursor over whole
+		// chunks.
+		curTick, curNow, curFinal = t, now, final
+		for w := range arenas {
+			arenas[w].dropped = 0
+		}
+		pool.ForRanges(len(zones), 0, observePhase)
 		observeDone := ro.now()
 		ro.observeDone(phaseStart, observeDone)
 
 		// Phase 2 (sequential reduce): fold the per-zone partials in
 		// canonical zone order — float summation order is fixed, so
-		// the metrics do not depend on the worker count.
+		// the metrics do not depend on the worker count. The dropout
+		// count sums the per-worker arena counters (an integer sum,
+		// order-independent by construction); the per-zone walk for
+		// dropout events only runs when telemetry wants them.
+		var droppedNow int64
+		for w := range arenas {
+			droppedNow += arenas[w].dropped
+		}
+		resil.DroppedSamples += int(droppedNow)
+		if ro != nil && droppedNow > 0 {
+			for i := range zones {
+				if partials[i].dropped {
+					ro.droppedSample(t, zones[i].tag)
+				}
+			}
+		}
 		var alloc, load [datacenter.NumResources]float64
 		var shortfall [datacenter.NumResources]float64
-		for _, z := range zones {
-			if partials[z.idx].dropped {
-				resil.DroppedSamples++
-				ro.droppedSample(t, z.tag())
-			}
-			a, l := partials[z.idx].alloc, partials[z.idx].load
+		for i := range zones {
+			z := &zones[i]
+			a, l := partials[i].alloc, partials[i].load
 			for r := 0; r < int(datacenter.NumResources); r++ {
 				alloc[r] += a[r]
 				load[r] += l[r]
@@ -718,9 +805,10 @@ func Run(cfg Config) (*Result, error) {
 					shortfall[r] += d
 				}
 			}
-			gameAlloc[z.game.Name] += a[datacenter.CPU]
+			gameAlloc[z.gameIdx] += a[datacenter.CPU]
 			if d := a[datacenter.CPU] - l[datacenter.CPU]; d < 0 {
-				gameShort[z.game.Name] += d
+				gameShort[z.gameIdx] += d
+				gameShortSet[z.gameIdx] = true
 			}
 		}
 		// M in Equation 2 is the number of machines participating in
@@ -760,18 +848,18 @@ func Run(cfg Config) (*Result, error) {
 		res.UnderPct = append(res.UnderPct, shortfall[datacenter.CPU]/machines*100)
 		res.Ticks++
 
-		for name, short := range gameShort {
-			m := math.Ceil(gameAlloc[name])
-			if m < 1 {
-				m = 1
+		// Per-game under-allocation: only games where some zone actually
+		// fell short this tick accumulate (matching the old scratch
+		// map's presence semantics); the accumulators reset in place.
+		for gi := range gameAlloc {
+			if gameShortSet[gi] {
+				m := math.Ceil(gameAlloc[gi])
+				if m < 1 {
+					m = 1
+				}
+				gameUnderSum[gi] += gameShort[gi] / m * 100
 			}
-			gameUnderSum[name] += short / m * 100
-		}
-		for name := range gameAlloc {
-			delete(gameAlloc, name)
-		}
-		for name := range gameShort {
-			delete(gameShort, name)
+			gameAlloc[gi], gameShort[gi], gameShortSet[gi] = 0, 0, false
 		}
 
 		// Account center usage.
@@ -781,7 +869,8 @@ func Run(cfg Config) (*Result, error) {
 				cs.AvgAllocatedCPU += c.Allocated()[datacenter.CPU]
 				cs.AvgFreeCPU += c.Free()[datacenter.CPU]
 			}
-			for _, z := range zones {
+			for i := range zones {
+				z := &zones[i]
 				for _, l := range z.leases {
 					if l.Active(now) {
 						res.CenterStats[l.Center.Name].AllocatedByRegion[z.region.Name] += l.Alloc[datacenter.CPU]
@@ -814,9 +903,10 @@ func Run(cfg Config) (*Result, error) {
 		// re-acquisition — excluding the centers that dropped it.
 		ro.beginAcquireSpan(reduceDone)
 		anyUnmet := false
-		for _, z := range acquireOrder {
-			lost := lostCenters[z.idx]
-			need := partials[z.idx].need
+		for _, zi := range acquireOrder {
+			z := &zones[zi]
+			lost := lostCenters[zi]
+			need := partials[zi].need
 			if len(lost) == 0 && t < z.retryAt {
 				// Backed off after injected rejections: don't hammer
 				// the ecosystem; the demand goes unserved this tick. A
@@ -831,13 +921,13 @@ func Run(cfg Config) (*Result, error) {
 				continue
 			}
 			retry := z.retries > 0
-			asp := ro.beginZoneAcquire(t, z.tag(), lost, retry)
+			asp := ro.beginZoneAcquire(t, z.tag, lost, retry)
 			if retry {
 				resil.Retries++
-				ro.retried(t, z.tag(), asp)
+				ro.retried(t, z.tag, asp)
 			}
 			leases, unmet, out := matcher.AllocateDetailed(ecosystem.Request{
-				Tag:           z.tag(),
+				Tag:           z.tag,
 				Origin:        z.region.Location,
 				MaxDistanceKm: z.game.LatencyKm,
 				Demand:        need,
@@ -846,7 +936,7 @@ func Run(cfg Config) (*Result, error) {
 			z.leases = append(z.leases, leases...)
 			resil.Rejections += out.Rejections
 			resil.PartialGrants += out.PartialGrants
-			ro.acquired(t, z.tag(), leases, out, lost, asp)
+			ro.acquired(t, z.tag, leases, out, lost, asp)
 			if len(lost) > 0 {
 				resil.Failovers++
 				resil.FailoverLeases += len(leases)
@@ -881,8 +971,8 @@ func Run(cfg Config) (*Result, error) {
 	tracker.finish(res.Ticks)
 
 	res.AvgUnderByGame = map[string]float64{}
-	for _, w := range cfg.Workloads {
-		res.AvgUnderByGame[w.Game.Name] = gameUnderSum[w.Game.Name] / float64(res.Ticks)
+	for gi, w := range cfg.Workloads {
+		res.AvgUnderByGame[w.Game.Name] = gameUnderSum[gi] / float64(res.Ticks)
 	}
 
 	for r := 0; r < int(datacenter.NumResources); r++ {

@@ -71,6 +71,13 @@ type runObs struct {
 	obsSp   *obs.Span
 	acqSp   *obs.Span
 	curTick int
+	// Event-detail interning: grant/failover details are derived from
+	// center names, a tiny closed set, so the single-center case (the
+	// overwhelming majority) is cached and the name-dedup scratch is
+	// reused — steady-state telemetry then allocates nothing per event.
+	centersBuf    []string
+	centersDetail map[string]string
+	lostDetail    map[string]string
 	// lastReject chains a retry span back to the rejection that caused
 	// the backoff; outageDepth/outageWin track the open async outage
 	// window per center (overlapping windows compose by depth, like the
@@ -153,6 +160,9 @@ func newRunObs(o *obs.Obs) *runObs {
 	ro.poolSkips = r.Counter("mmogdc_pool_helper_skips_total",
 		"Helper dispatches skipped because every resident worker was busy.")
 
+	ro.centersDetail = map[string]string{}
+	ro.lostDetail = map[string]string{}
+
 	if o.Tracer != nil {
 		ro.trc = o.Tracer
 		ro.lastReject = map[string]obs.SpanID{}
@@ -161,6 +171,34 @@ func newRunObs(o *obs.Obs) *runObs {
 		ro.outageName = map[string]string{}
 	}
 	return ro
+}
+
+// centersJoinedDetail builds the "centers: a,b" grant detail, caching
+// the one-center case (multi-center grants are rare enough to allocate).
+func (ro *runObs) centersJoinedDetail(centers []string) string {
+	if len(centers) == 1 {
+		d, ok := ro.centersDetail[centers[0]]
+		if !ok {
+			d = "centers: " + centers[0]
+			ro.centersDetail[centers[0]] = d
+		}
+		return d
+	}
+	return "centers: " + strings.Join(centers, ",")
+}
+
+// lostJoinedDetail builds the "lost: a,b" failover detail with the
+// same one-center caching.
+func (ro *runObs) lostJoinedDetail(lost []string) string {
+	if len(lost) == 1 {
+		d, ok := ro.lostDetail[lost[0]]
+		if !ok {
+			d = "lost: " + lost[0]
+			ro.lostDetail[lost[0]] = d
+		}
+		return d
+	}
+	return "lost: " + strings.Join(lost, ",")
 }
 
 // now reads the obs clock; the zero Time when disabled (no clock call).
@@ -429,7 +467,7 @@ func (ro *runObs) acquired(t int, tag string, leases []*datacenter.Lease, out ec
 		ro.grants.Inc()
 		ro.grantLeases.Add(int64(len(leases)))
 		cpu := 0.0
-		var centers []string
+		centers := ro.centersBuf[:0]
 		for _, l := range leases {
 			cpu += l.Alloc[datacenter.CPU]
 			seen := false
@@ -443,15 +481,16 @@ func (ro *runObs) acquired(t int, tag string, leases []*datacenter.Lease, out ec
 				centers = append(centers, l.Center.Name)
 			}
 		}
+		ro.centersBuf = centers
 		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventGrant, Subject: tag,
-			Detail: "centers: " + strings.Join(centers, ","), Value: cpu, Span: span})
+			Detail: ro.centersJoinedDetail(centers), Value: cpu, Span: span})
 	}
 	if len(lost) > 0 {
 		ro.failovers.Inc()
 		ro.failoverLeases.Add(int64(len(leases)))
 		ro.o.Recorder.Record(obs.Event{
 			Tick: t, Kind: obs.EventFailover, Subject: tag,
-			Detail: "lost: " + strings.Join(lost, ","), Value: float64(len(leases)), Span: span,
+			Detail: ro.lostJoinedDetail(lost), Value: float64(len(leases)), Span: span,
 		})
 	}
 	sp.SetValue(float64(len(leases)))

@@ -15,7 +15,7 @@
 package ecosystem
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"mmogdc/internal/datacenter"
@@ -57,10 +57,16 @@ type Outcome struct {
 	PartialGrants int
 }
 
-// Matcher allocates requests across a set of data centers.
+// Matcher allocates requests across a set of data centers. A Matcher
+// is not safe for concurrent use: Allocate mutates center lease books
+// and reuses internal candidate scratch across calls (each simulation
+// run owns its matcher exclusively).
 type Matcher struct {
 	centers []*datacenter.Center
 	faults  GrantFaults
+	// cands is the candidate scratch reused by AllocateDetailed so the
+	// per-tick acquire walk does not allocate.
+	cands []candidate
 }
 
 // SetFaultInjector installs (or, with nil, removes) the grant-fault
@@ -102,6 +108,39 @@ type candidate struct {
 	distKm float64
 }
 
+// compareCandidates orders candidates by the matching preference:
+// finer resource grain, then shorter time bulk, then closer center,
+// then name (a unique key, making the order total).
+func compareCandidates(a, b candidate) int {
+	ga, gb := a.center.Policy.Grain(), b.center.Policy.Grain()
+	switch {
+	case ga < gb:
+		return -1
+	case ga > gb:
+		return 1
+	}
+	ta, tb := a.center.Policy.TimeBulk, b.center.Policy.TimeBulk
+	switch {
+	case ta < tb:
+		return -1
+	case ta > tb:
+		return 1
+	}
+	switch {
+	case a.distKm < b.distKm:
+		return -1
+	case a.distKm > b.distKm:
+		return 1
+	}
+	switch {
+	case a.center.Name < b.center.Name:
+		return -1
+	case a.center.Name > b.center.Name:
+		return 1
+	}
+	return 0
+}
+
 // Allocate leases resources for the request, splitting it across
 // centers when the preferred center cannot host all of it. It returns
 // the leases obtained and the unmet demand (zero when fully served).
@@ -124,7 +163,7 @@ func (m *Matcher) AllocateDetailed(req Request, now time.Time) ([]*datacenter.Le
 		return nil, datacenter.Vector{}, out
 	}
 
-	cands := make([]candidate, 0, len(m.centers))
+	cands := m.cands[:0]
 	for _, c := range m.centers {
 		if excluded(req.Exclude, c.Name) {
 			continue
@@ -134,22 +173,13 @@ func (m *Matcher) AllocateDetailed(req Request, now time.Time) ([]*datacenter.Le
 			cands = append(cands, candidate{center: c, distKm: d})
 		}
 	}
+	m.cands = cands
 	// Preference: finer resource grain, then shorter time bulk, then
-	// closer center, then name for determinism.
-	sort.Slice(cands, func(i, j int) bool {
-		gi, gj := cands[i].center.Policy.Grain(), cands[j].center.Policy.Grain()
-		if gi != gj {
-			return gi < gj
-		}
-		ti, tj := cands[i].center.Policy.TimeBulk, cands[j].center.Policy.TimeBulk
-		if ti != tj {
-			return ti < tj
-		}
-		if cands[i].distKm != cands[j].distKm {
-			return cands[i].distKm < cands[j].distKm
-		}
-		return cands[i].center.Name < cands[j].center.Name
-	})
+	// closer center, then name for determinism. The name tie-break
+	// makes the order total, so any correct sort yields the same
+	// permutation; SortFunc with a static comparator avoids the
+	// reflection and closure allocations of sort.Slice.
+	slices.SortFunc(cands, compareCandidates)
 
 	var leases []*datacenter.Lease
 	for _, cand := range cands {

@@ -13,6 +13,12 @@ type Preprocessor interface {
 	// Process returns the de-noised window; the result has the same
 	// length as the input. Implementations must not retain the input.
 	Process(window []float64) []float64
+	// ProcessInto writes the de-noised window into dst, which must have
+	// the same length as window and must not alias it. It computes the
+	// same values as Process without allocating; implementations may
+	// reuse internal scratch across calls, so a Preprocessor used via
+	// ProcessInto is not safe for concurrent use.
+	ProcessInto(dst, window []float64)
 }
 
 // Identity passes the window through unchanged.
@@ -23,18 +29,28 @@ func (Identity) Process(window []float64) []float64 {
 	return append([]float64(nil), window...)
 }
 
+// ProcessInto implements Preprocessor.
+func (Identity) ProcessInto(dst, window []float64) {
+	copy(dst, window)
+}
+
 // PolySmoother least-squares-fits a polynomial of the configured
 // degree to the window and returns the fitted values — a zero-delay
 // smoothing filter (Savitzky–Golay style, full-window variant). The
-// fit is recomputed per call, which is what keeps the neural predictor
-// the slowest-but-still-microsecond method in Fig. 6.
+// fit is recomputed per call; ProcessInto keeps that recomputation
+// allocation-free by reusing the solver scratch, which is what keeps
+// the neural predictor the slowest-but-still-microsecond method in
+// Fig. 6 without making it the allocation hot spot of the tick loop.
 type PolySmoother struct {
 	// Degree of the fitted polynomial; 2 works well for the 6-sample
 	// windows the paper uses.
 	Degree int
+
+	scratch polyScratch
 }
 
-// Process implements Preprocessor.
+// Process implements Preprocessor. It is usable on a value receiver
+// (no scratch is retained) and always returns fresh slices.
 func (p PolySmoother) Process(window []float64) []float64 {
 	n := len(window)
 	deg := p.Degree
@@ -53,15 +69,66 @@ func (p PolySmoother) Process(window []float64) []float64 {
 	return out
 }
 
-// polyfit fits y[i] ~ poly(i) of the given degree by solving the
-// normal equations with Gaussian elimination. Windows are tiny (6–12
-// samples, degree <= 3), so the cubic cost is irrelevant.
-func polyfit(y []float64, degree int) []float64 {
+// ProcessInto implements Preprocessor. It computes bit-identical
+// values to Process into dst, reusing the receiver's scratch, so it
+// allocates only on the first call (or when the window geometry
+// grows).
+func (p *PolySmoother) ProcessInto(dst, window []float64) {
+	n := len(window)
+	deg := p.Degree
+	if deg < 0 {
+		deg = 0
+	}
+	if deg >= n {
+		copy(dst, window)
+		return
+	}
+	coef := p.scratch.fit(window, deg)
+	for i := 0; i < n; i++ {
+		dst[i] = polyval(coef, float64(i))
+	}
+}
+
+// polyScratch holds the reusable temporaries of the normal-equation
+// solve: the power sums, the elimination matrix (row headers over one
+// flat cell buffer, so pivoting swaps headers without moving data),
+// and the coefficient vector that fit returns (valid until the next
+// fit call).
+type polyScratch struct {
+	s, tv, coef []float64
+	rows        [][]float64
+	cells       []float64
+}
+
+func (ps *polyScratch) ensure(k int) {
+	if cap(ps.coef) >= k {
+		return
+	}
+	ps.s = make([]float64, 2*k-1)
+	ps.tv = make([]float64, k)
+	ps.coef = make([]float64, k)
+	ps.rows = make([][]float64, k)
+	ps.cells = make([]float64, k*(k+1))
+}
+
+// fit solves the degree-d least-squares fit of y[i] ~ poly(i) by the
+// normal equations with Gaussian elimination, in the exact operation
+// order of the original allocating implementation (the neural goldens
+// depend on the bits). Windows are tiny (6–12 samples, degree <= 3),
+// so the cubic cost is irrelevant.
+func (ps *polyScratch) fit(y []float64, degree int) []float64 {
 	n := len(y)
 	k := degree + 1
+	ps.ensure(k)
 	// Precompute power sums S_m = sum(i^m) and T_m = sum(i^m * y_i).
-	s := make([]float64, 2*k-1)
-	tv := make([]float64, k)
+	s := ps.s[:2*k-1]
+	tv := ps.tv[:k]
+	for m := range s {
+		s[m] = 0
+	}
+	for m := range tv {
+		tv[m] = 0
+	}
 	for i := 0; i < n; i++ {
 		x := float64(i)
 		pw := 1.0
@@ -73,10 +140,12 @@ func polyfit(y []float64, degree int) []float64 {
 			pw *= x
 		}
 	}
-	// Build the normal-equation matrix A[r][c] = S_{r+c}.
-	a := make([][]float64, k)
+	// Build the normal-equation matrix A[r][c] = S_{r+c}. Row headers
+	// are re-pointed at their canonical cell windows every call because
+	// pivoting below permutes them.
+	a := ps.rows[:k]
 	for r := 0; r < k; r++ {
-		a[r] = make([]float64, k+1)
+		a[r] = ps.cells[r*(k+1) : (r+1)*(k+1) : (r+1)*(k+1)]
 		for c := 0; c < k; c++ {
 			a[r][c] = s[r+c]
 		}
@@ -101,7 +170,7 @@ func polyfit(y []float64, degree int) []float64 {
 			}
 		}
 	}
-	coef := make([]float64, k)
+	coef := ps.coef[:k]
 	for r := k - 1; r >= 0; r-- {
 		if a[r][r] == 0 {
 			coef[r] = 0
@@ -114,6 +183,13 @@ func polyfit(y []float64, degree int) []float64 {
 		coef[r] = sum / a[r][r]
 	}
 	return coef
+}
+
+// polyfit fits y[i] ~ poly(i) of the given degree with a throwaway
+// scratch, returning a fresh coefficient slice.
+func polyfit(y []float64, degree int) []float64 {
+	var ps polyScratch
+	return ps.fit(y, degree)
 }
 
 // polyval evaluates the polynomial (Horner).

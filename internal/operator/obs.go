@@ -36,6 +36,12 @@ type opObs struct {
 
 	allocCPU *obs.Gauge
 	loadCPU  *obs.Gauge
+
+	// Interned event strings: dropped-sample subjects and failover
+	// details are rebuilt every tick on the hot path otherwise. Both
+	// caches are tiny (bounded by the zone and center counts).
+	zoneSubjects []string
+	lostDetail   map[string]string
 }
 
 func newOpObs(o *obs.Obs, game string) *opObs {
@@ -71,7 +77,30 @@ func newOpObs(o *obs.Obs, game string) *opObs {
 			"CPU units the operator held at the last snapshot.", g),
 		loadCPU: r.Gauge("mmogdc_operator_load_cpu_units",
 			"CPU demand of the last monitoring snapshot.", g),
+		lostDetail: make(map[string]string),
 	}
+}
+
+// zoneSubject returns the interned "zone N" event subject.
+func (oo *opObs) zoneSubject(zone int) string {
+	for len(oo.zoneSubjects) <= zone {
+		oo.zoneSubjects = append(oo.zoneSubjects, "zone "+strconv.Itoa(len(oo.zoneSubjects)))
+	}
+	return oo.zoneSubjects[zone]
+}
+
+// lostJoinedDetail returns the failover "lost: ..." detail, cached for
+// the common single-center case.
+func (oo *opObs) lostJoinedDetail(lost []string) string {
+	if len(lost) == 1 {
+		d, ok := oo.lostDetail[lost[0]]
+		if !ok {
+			d = "lost: " + lost[0]
+			oo.lostDetail[lost[0]] = d
+		}
+		return d
+	}
+	return "lost: " + strings.Join(lost, ",")
 }
 
 // beginObserve opens one Observe cycle's span at the cycle's already-
@@ -141,7 +170,7 @@ func (oo *opObs) droppedSample(tick, zone int) {
 	}
 	oo.droppedSamples.Inc()
 	oo.o.Recorder.Record(obs.Event{Tick: tick, Kind: obs.EventDropped,
-		Subject: "zone " + strconv.Itoa(zone), Span: oo.span()})
+		Subject: oo.zoneSubject(zone), Span: oo.span()})
 }
 
 func (oo *opObs) retried(tick int, game string) {
@@ -177,7 +206,7 @@ func (oo *opObs) acquired(tick int, game string, leases []*datacenter.Lease, out
 		oo.failovers.Inc()
 		oo.o.Recorder.Record(obs.Event{
 			Tick: tick, Kind: obs.EventFailover, Subject: game,
-			Detail: "lost: " + strings.Join(lost, ","), Value: float64(len(leases)), Span: span,
+			Detail: oo.lostJoinedDetail(lost), Value: float64(len(leases)), Span: span,
 		})
 	}
 }

@@ -195,7 +195,7 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 	if err := o.zones.Observe(clean); err != nil {
 		return err
 	}
-	o.lastForecast = o.zones.PredictEach()
+	o.lastForecast = o.zones.PredictEachInto(o.lastForecast)
 	want := o.demandFor(o.lastForecast)
 	want = want.Scale(1 + o.cfg.SafetyMargin)
 	need := want.Sub(o.allocAt(now.Add(o.cfg.Tick))).ClampNonNegative()
@@ -242,7 +242,8 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 }
 
 // Forecast returns the latest per-zone forecast (nil before the first
-// Observe).
+// Observe). The returned slice is reused by the next Observe; callers
+// that retain it across ticks must copy.
 func (o *Operator) Forecast() []float64 { return o.lastForecast }
 
 // Metrics returns the running summary.

@@ -5,12 +5,21 @@
 // concurrently.
 //
 // The pool is deliberately minimal: a fixed set of resident workers, a
-// For primitive that splits [0, n) across them with work stealing (an
-// atomic cursor, so uneven per-index cost balances itself), and a
-// generic Map built on top. The caller always executes one share of
-// the loop itself, which makes nested or concurrent For calls
-// deadlock-free even when every resident worker is busy: forward
-// progress never depends on a worker becoming available.
+// ForRanges primitive that splits [0, n) into contiguous chunks claimed
+// from an atomic cursor (work stealing at chunk granularity, so uneven
+// per-index cost still balances while tiny per-item bodies are not
+// dispatched one at a time), the per-index For/ForWorker built on top,
+// and a generic Map. The caller always executes one share of the loop
+// itself, which makes nested or concurrent For calls deadlock-free even
+// when every resident worker is busy: forward progress never depends on
+// a worker becoming available.
+//
+// Chunked distribution matters twice for the simulation's tick loop:
+// it divides the cursor contention by the chunk size (one atomic
+// fetch-add per chunk instead of per index), and it hands each worker
+// contiguous index ranges, so workers writing to adjacent slots of a
+// shared output slice (e.g. core's per-zone partials) touch disjoint
+// cache-line runs instead of interleaving write-hot lines.
 package par
 
 import (
@@ -107,16 +116,45 @@ func (p *Pool) For(n int, fn func(i int)) {
 // each loop index: 0 is the caller's goroutine, 1..Workers()-1 the
 // resident helpers. Telemetry uses it to annotate per-index spans with
 // the worker that ran them; the index identifies an executor, it
-// promises nothing about scheduling.
+// promises nothing about scheduling. Indices are claimed one at a
+// time (chunk = 1), which balances wildly uneven per-index costs; for
+// many small uniform bodies prefer ForRanges, which amortizes the
+// claim over a whole chunk.
 func (p *Pool) ForWorker(n int, fn func(i, worker int)) {
+	p.ForRanges(n, 1, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			fn(i, worker)
+		}
+	})
+}
+
+// ForRanges runs fn over contiguous sub-ranges [lo, hi) that exactly
+// cover [0, n), distributing the ranges over the pool, and returns
+// when all calls have finished. Workers claim one chunk-sized range at
+// a time from a shared cursor, so the cost of claiming work is paid
+// once per chunk rather than once per index, and each worker owns a
+// contiguous run of indices — callers that write fn's results into a
+// shared slice get cache-line-disjoint write regions for free.
+//
+// chunk <= 0 selects an automatic granularity of roughly
+// n/(4*Workers()), clamped to at least 1: four claim rounds per worker
+// keeps stealing effective when per-range costs are uneven without
+// paying per-index dispatch. Distinct ranges may run concurrently and
+// in any order; worker 0 is the caller's goroutine. A panic in fn is
+// re-raised on the caller's goroutine after the loop drains.
+func (p *Pool) ForRanges(n, chunk int, fn func(lo, hi, worker int)) {
 	if n <= 0 {
 		return
 	}
-	p.forCalls.Add(1)
-	if p.workers == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			fn(i, 0)
+	if chunk <= 0 {
+		chunk = n / (4 * p.workers)
+		if chunk < 1 {
+			chunk = 1
 		}
+	}
+	p.forCalls.Add(1)
+	if p.workers == 1 || n <= chunk {
+		fn(0, n, 0)
 		p.callerIndices.Add(int64(n))
 		return
 	}
@@ -136,23 +174,28 @@ func (p *Pool) ForWorker(n int, fn func(i, worker int)) {
 					panicked, panicVal = true, r
 				}
 				panicMu.Unlock()
-				// Stop handing out further indices; the loop still
+				// Stop handing out further ranges; the loop still
 				// drains so no goroutine is left behind.
 				cursor.Store(int64(n))
 			}
 		}()
 		for {
-			i := cursor.Add(1) - 1
-			if i >= int64(n) {
+			lo := cursor.Add(int64(chunk)) - int64(chunk)
+			if lo >= int64(n) {
 				return
 			}
-			fn(int(i), worker)
-			done++
+			hi := lo + int64(chunk)
+			if hi > int64(n) {
+				hi = int64(n)
+			}
+			fn(int(lo), int(hi), worker)
+			done += hi - lo
 		}
 	}
+	chunks := (n + chunk - 1) / chunk
 	helpers := p.workers - 1
-	if n-1 < helpers {
-		helpers = n - 1
+	if chunks-1 < helpers {
+		helpers = chunks - 1
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < helpers; i++ {
@@ -166,7 +209,7 @@ func (p *Pool) ForWorker(n int, fn func(i, worker int)) {
 		case p.tasks <- task:
 		default:
 			// Every resident worker is busy (nested or concurrent For):
-			// skip the helper, the caller's share covers its indices.
+			// skip the helper, the caller's share covers its ranges.
 			p.helperSkips.Add(1)
 			wg.Done()
 		}

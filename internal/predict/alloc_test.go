@@ -1,0 +1,76 @@
+package predict
+
+import (
+	"testing"
+)
+
+// TestPredictorsAllocFree locks in the steady-state allocation contract
+// of every predictor: after a warmup long enough to fill windows,
+// histories, and internal scratch, one Observe+Predict step must not
+// allocate at all. The per-tick simulation loop calls this pair once
+// per zone per tick, so even a single allocation here multiplies into
+// hundreds of thousands per run (the regression this guards against).
+func TestPredictorsAllocFree(t *testing.T) {
+	cases := []struct {
+		name    string
+		factory Factory
+	}{
+		{"LastValue", NewLastValue()},
+		{"Average", NewAverage()},
+		{"MovingAverage", NewMovingAverage(DefaultWindow)},
+		{"ExpSmoothing", NewExpSmoothing(0.5, "Exp. smoothing 50%")},
+		{"Holt", NewHolt(0.5, 0.3)},
+		{"SlidingWindowMedian", NewSlidingWindowMedian(DefaultWindow)},
+		{"SeasonalNaive", NewSeasonalNaive(24)},
+		{"AR", NewAR(3, 8, 128)},
+		{"Neural", NewNeural(PaperNeuralConfig(1))},
+	}
+	// A varying, non-constant signal so the AR refit and the neural
+	// smoother take their general (not degenerate) code paths.
+	signal := make([]float64, 256)
+	for i := range signal {
+		signal[i] = float64(100 + (i*37)%900)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.factory()
+			// Warm up well past every internal buffer's fill point
+			// (windows, AR history, neural input window, lazy scratch).
+			for i := 0; i < 512; i++ {
+				p.Observe(signal[i%len(signal)])
+				_ = p.Predict()
+			}
+			i := 0
+			avg := testing.AllocsPerRun(200, func() {
+				p.Observe(signal[i%len(signal)])
+				_ = p.Predict()
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: Observe+Predict allocates %.2f objects/op in steady state, want 0", tc.name, avg)
+			}
+		})
+	}
+}
+
+// TestZoneSetPredictEachIntoAllocFree guards the operator-side forecast
+// path: reusing the previous result slice must make per-tick
+// forecasting allocation-free.
+func TestZoneSetPredictEachIntoAllocFree(t *testing.T) {
+	z := NewZoneSet(NewLastValue(), 16)
+	vals := make([]float64, 16)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	if err := z.Observe(vals); err != nil {
+		t.Fatal(err)
+	}
+	var dst []float64
+	dst = z.PredictEachInto(dst)
+	avg := testing.AllocsPerRun(100, func() {
+		dst = z.PredictEachInto(dst)
+	})
+	if avg != 0 {
+		t.Errorf("PredictEachInto allocates %.2f objects/op with a reused slice, want 0", avg)
+	}
+}

@@ -23,6 +23,10 @@ type AR struct {
 	mean          float64
 	sinceRefit    int
 	fitted        bool
+	// Levinson–Durbin scratch (autocovariances and the two recursion
+	// rows), preallocated so the recurring refit — the very cost the
+	// paper objects to — at least does not allocate.
+	rScratch, aScratch, prevScratch []float64
 }
 
 // NewAR returns an AR(p) predictor factory that refits every
@@ -42,6 +46,14 @@ func NewAR(order, refitInterval, maxHistory int) Factory {
 			order:         order,
 			refitInterval: refitInterval,
 			maxHistory:    maxHistory,
+			// Observe lets the history momentarily reach maxHistory+1
+			// before trimming; capacity covers that peak so appends
+			// never reallocate.
+			history:     make([]float64, 0, maxHistory+1),
+			coeffs:      make([]float64, order),
+			rScratch:    make([]float64, order+1),
+			aScratch:    make([]float64, order+1),
+			prevScratch: make([]float64, order+1),
 		}
 	}
 }
@@ -94,8 +106,9 @@ func (p *AR) refit() {
 	}
 	mean := sum / float64(n)
 
-	// Sample autocovariances r[0..order].
-	r := make([]float64, p.order+1)
+	// Sample autocovariances r[0..order], into reused scratch (every
+	// element is written before being read).
+	r := p.rScratch
 	for lag := 0; lag <= p.order; lag++ {
 		var acc float64
 		for i := 0; i+lag < n; i++ {
@@ -105,15 +118,21 @@ func (p *AR) refit() {
 	}
 	if r[0] <= 1e-12 {
 		// Constant signal: predict the mean.
-		p.coeffs = make([]float64, p.order)
+		for i := range p.coeffs {
+			p.coeffs[i] = 0
+		}
 		p.mean = mean
 		p.fitted = true
 		return
 	}
 
-	// Levinson–Durbin recursion.
-	a := make([]float64, p.order+1)
-	prev := make([]float64, p.order+1)
+	// Levinson–Durbin recursion. a must start zeroed; prev is fully
+	// overwritten by the copy before any read.
+	a := p.aScratch
+	for i := range a {
+		a[i] = 0
+	}
+	prev := p.prevScratch
 	e := r[0]
 	for k := 1; k <= p.order; k++ {
 		acc := r[k]
@@ -131,7 +150,6 @@ func (p *AR) refit() {
 		}
 		e *= 1 - kappa*kappa
 	}
-	p.coeffs = make([]float64, p.order)
 	for i := 1; i <= p.order; i++ {
 		c := a[i]
 		// Guard against numerically unstable fits.

@@ -100,6 +100,9 @@ type Neural struct {
 	prevIn   []float64
 	prevLast float64
 	havePre  bool
+	// targetBuf is the reusable one-element training-target slice; the
+	// network does not retain it across calls.
+	targetBuf []float64
 }
 
 // NewNeural returns a neural predictor factory.
@@ -124,15 +127,18 @@ func MustNeural(cfg NeuralConfig) *Neural {
 	}
 	var pre neural.Preprocessor = neural.Identity{}
 	if c.Degree >= 0 {
-		pre = neural.PolySmoother{Degree: c.Degree}
+		// Pointer receiver: ProcessInto reuses the smoother's solver
+		// scratch, so each Neural owns its preprocessor exclusively.
+		pre = &neural.PolySmoother{Degree: c.Degree}
 	}
 	return &Neural{
-		cfg:    c,
-		net:    net,
-		pre:    pre,
-		norm:   norm,
-		window: make([]float64, 0, c.Window),
-		prevIn: make([]float64, c.Window),
+		cfg:       c,
+		net:       net,
+		pre:       pre,
+		norm:      norm,
+		window:    make([]float64, 0, c.Window),
+		prevIn:    make([]float64, c.Window),
+		targetBuf: make([]float64, 1),
 	}
 }
 
@@ -150,7 +156,8 @@ func (p *Neural) Observe(v float64) {
 			target = nv - p.prevLast
 		}
 		target *= p.cfg.OutputScale
-		p.net.TrainClipped(p.prevIn, []float64{target}, p.cfg.OnlineLearningRate, p.cfg.Momentum, p.cfg.ErrorClip)
+		p.targetBuf[0] = target
+		p.net.TrainClipped(p.prevIn, p.targetBuf, p.cfg.OnlineLearningRate, p.cfg.Momentum, p.cfg.ErrorClip)
 	}
 	if len(p.window) == p.cfg.Window {
 		copy(p.window, p.window[1:])
@@ -160,8 +167,7 @@ func (p *Neural) Observe(v float64) {
 	}
 	p.seen++
 	if len(p.window) == p.cfg.Window {
-		in := p.pre.Process(p.window)
-		copy(p.prevIn, in)
+		p.pre.ProcessInto(p.prevIn, p.window)
 		p.prevLast = p.window[len(p.window)-1]
 		p.havePre = true
 	}

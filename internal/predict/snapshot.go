@@ -323,8 +323,14 @@ func (p *AR) Restore(data []byte) error {
 	if len(history) > maxHist || (fitted && len(coeffs) != order) {
 		return fmt.Errorf("predict: inconsistent AR snapshot")
 	}
-	p.history = history
-	p.coeffs = coeffs
+	// Copy into the preallocated buffers rather than aliasing the
+	// decoder's slices, so a restored predictor keeps its
+	// allocation-free steady state.
+	p.history = append(p.history[:0], history...)
+	for i := range p.coeffs {
+		p.coeffs[i] = 0
+	}
+	copy(p.coeffs, coeffs)
 	p.mean = mean
 	p.sinceRefit = sinceRefit
 	p.fitted = fitted

@@ -35,13 +35,24 @@ func (z *ZoneSet) Observe(values []float64) error {
 	return nil
 }
 
-// PredictEach returns the per-zone next-step forecasts.
+// PredictEach returns the per-zone next-step forecasts in a fresh
+// slice.
 func (z *ZoneSet) PredictEach() []float64 {
-	out := make([]float64, len(z.ps))
-	for i, p := range z.ps {
-		out[i] = p.Predict()
+	return z.PredictEachInto(nil)
+}
+
+// PredictEachInto writes the per-zone next-step forecasts into dst,
+// growing it if needed, and returns the filled slice. Passing the
+// previous result back in makes per-tick forecasting allocation-free.
+func (z *ZoneSet) PredictEachInto(dst []float64) []float64 {
+	if cap(dst) < len(z.ps) {
+		dst = make([]float64, len(z.ps))
 	}
-	return out
+	dst = dst[:len(z.ps)]
+	for i, p := range z.ps {
+		dst[i] = p.Predict()
+	}
+	return dst
 }
 
 // PredictTotal returns the whole-world forecast: the sum of all

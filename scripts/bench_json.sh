@@ -1,19 +1,35 @@
 #!/usr/bin/env sh
-# Machine-readable benchmark snapshot: run the core-engine, checkpoint,
-# and observability-overhead benchmarks with -benchmem and condense the
-# output into BENCH_core.json (name -> ns/op, B/op, allocs/op) at the
-# repo root. One iteration per benchmark keeps this cheap enough for
-# CI; the numbers are a smoke-grade snapshot, not a measurement run.
+# Machine-readable benchmark snapshot, gated: run the core-engine,
+# checkpoint, and observability-overhead benchmarks with -benchmem,
+# condense the output into BENCH_core.json (name -> ns/op, B/op,
+# allocs/op) at the repo root, and fail if the fresh numbers regress
+# more than the tolerance band against the committed snapshot (see
+# scripts/benchgate: allocs/op and B/op gate at 20%, ns/op is a 2x
+# load-noise-tolerant tripwire and only applies to benchmarks long
+# enough that an iteration is meaningful). Three
+# iterations per benchmark keep this cheap enough for CI while damping
+# single-iteration timing wobble; the numbers are a smoke-grade
+# snapshot, not a measurement run.
+#
+# The refreshed BENCH_core.json is written even when the gate fails, so
+# an intentional change is accepted by committing the new snapshot.
 set -eu
 cd "$(dirname "$0")/.."
 
 d=$(mktemp -d)
 trap 'rm -rf "$d"' EXIT
 
-go test -run '^$' -bench 'CoreRun|ObsOverhead' -benchtime 1x -benchmem . \
+go test -run '^$' -bench 'CoreRun|ObsOverhead' -benchtime 3x -benchmem . \
     > "$d/bench.out"
-go test -run '^$' -bench Checkpoint -benchtime 1x -benchmem \
+go test -run '^$' -bench Checkpoint -benchtime 3x -benchmem \
     ./internal/operator/ >> "$d/bench.out"
 
-go run ./scripts/benchjson < "$d/bench.out" > BENCH_core.json
+go run ./scripts/benchjson < "$d/bench.out" > "$d/new.json"
+
+status=0
+if [ -f BENCH_core.json ]; then
+    go run ./scripts/benchgate BENCH_core.json "$d/new.json" || status=$?
+fi
+cp "$d/new.json" BENCH_core.json
 echo "bench-json: wrote BENCH_core.json ($(grep -c '"ns_per_op"' BENCH_core.json) benchmarks)"
+exit "$status"

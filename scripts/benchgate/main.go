@@ -1,0 +1,136 @@
+// Command benchgate compares two benchjson snapshots (see
+// scripts/benchjson) and exits non-zero when the current run regresses
+// past a tolerance band against the committed baseline. It is the
+// gating half of `make bench-json`: benchjson produces the snapshot,
+// benchgate decides whether it is acceptable.
+//
+//	benchgate [-tol 0.20] [-nstol 1.0] [-minns 1e6] baseline.json current.json
+//
+// Three regression classes are gated independently:
+//
+//   - allocs/op and B/op: both are near-deterministic for a fixed
+//     code path, so any growth beyond -tol (plus a small absolute
+//     slack for tiny counts) is a real regression — these are the
+//     primary gates protecting the allocation-free hot path, and
+//     they are immune to machine load.
+//
+//   - ns/op: wall-clock from the few-iteration CI snapshot is load
+//     noise on a busy box (a run right after the race suite has been
+//     observed 47% slow), so timing only fails past a wide -nstol
+//     band (default 2x — a tripwire for algorithmic blowups, not a
+//     perf meter), and only for benchmarks whose baseline is at
+//     least -minns (default 1ms) where an iteration integrates
+//     enough work to be meaningful.
+//
+// Benchmark names are compared after stripping the -N GOMAXPROCS
+// suffix so snapshots from machines with different core counts align.
+// A benchmark present in the baseline but missing from the current run
+// fails the gate (coverage loss); new benchmarks pass through.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// allocSlack and byteSlack are the absolute allocs/op and B/op growth
+// always tolerated, so single-digit scheduler-dependent wobble on tiny
+// counts cannot flake the gate.
+const (
+	allocSlack = 16
+	byteSlack  = 4096
+)
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func load(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw := map[string]result{}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]result, len(raw))
+	for name, r := range raw {
+		out[gomaxprocsSuffix.ReplaceAllString(name, "")] = r
+	}
+	return out, nil
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.20, "allowed fractional allocs/op and B/op regression")
+	nsTol := flag.Float64("nstol", 1.0, "allowed fractional ns/op regression")
+	minNs := flag.Float64("minns", 1e6, "baseline ns/op below which timings are not gated")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-tol 0.20] [-nstol 1.0] [-minns 1e6] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL "+format+"\n", args...)
+	}
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fail("%s: present in baseline but missing from current run", name)
+			continue
+		}
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil {
+			limit := float64(*b.AllocsPerOp)*(1+*tol) + allocSlack
+			if float64(*c.AllocsPerOp) > limit {
+				fail("%s: allocs/op %d exceeds baseline %d by more than %.0f%% (limit %.0f)",
+					name, *c.AllocsPerOp, *b.AllocsPerOp, *tol*100, limit)
+			}
+		}
+		if b.BytesPerOp != nil && c.BytesPerOp != nil {
+			limit := float64(*b.BytesPerOp)*(1+*tol) + byteSlack
+			if float64(*c.BytesPerOp) > limit {
+				fail("%s: B/op %d exceeds baseline %d by more than %.0f%% (limit %.0f)",
+					name, *c.BytesPerOp, *b.BytesPerOp, *tol*100, limit)
+			}
+		}
+		if b.NsPerOp >= *minNs {
+			if limit := b.NsPerOp * (1 + *nsTol); c.NsPerOp > limit {
+				fail("%s: ns/op %.0f exceeds baseline %.0f by more than %.0f%%",
+					name, c.NsPerOp, b.NsPerOp, *nsTol*100)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK (%d benchmarks within tolerance: allocs/bytes %.0f%%, ns %.0f%%)\n",
+		len(names), *tol*100, *nsTol*100)
+}

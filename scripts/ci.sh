@@ -8,9 +8,13 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
-go test -run '^$' -bench CoreRun -benchtime 1x .
-go test -run '^$' -bench Checkpoint -benchtime 1x ./internal/operator/
-go test -run '^$' -bench ObsOverhead -benchtime 1x .
+
+# Gated benchmark snapshot: runs the CoreRun/Checkpoint/ObsOverhead
+# benchmarks (so they always stay runnable), refreshes BENCH_core.json,
+# and fails on a >20% allocs/op or B/op (or >2x ns/op) regression
+# against the committed snapshot (scripts/benchgate). Accept an
+# intentional change by committing the refreshed BENCH_core.json.
+sh scripts/bench_json.sh
 
 # Fault-injection smoke: a short chaos run under the race detector must
 # finish and report its resilience accounting (the stochastic injector,
@@ -43,7 +47,3 @@ rm -rf "$d"
 # run, byte-diff obs-on stdout against obs-off (write-only telemetry
 # contract), and run the run's artifacts through mmogaudit.
 sh scripts/obs_smoke.sh
-
-# Benchmark snapshot (non-gating): refresh BENCH_core.json so perf
-# drift is visible in review, but never fail CI on a noisy box.
-sh scripts/bench_json.sh || echo "ci: bench-json failed (non-gating)" >&2
