@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench bench-json chaos-smoke recovery-smoke obs-smoke
+.PHONY: ci vet build test race bench-smoke bench bench-json chaos-smoke recovery-smoke obs-smoke daemon-smoke
 
-ci: vet build race bench-json chaos-smoke recovery-smoke obs-smoke
+ci: vet build race bench-json chaos-smoke recovery-smoke obs-smoke daemon-smoke
 
 vet:
 	$(GO) vet ./...
@@ -68,6 +68,13 @@ recovery-smoke:
 # against an obs-off run's (the write-only telemetry contract).
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# Daemon smoke: the full mmogd lifecycle — load, SIGTERM drain,
+# checkpoint restart with lease reconciliation (clean and after
+# kill -9), hot reload (HTTP + SIGHUP), 10x overload shedding with
+# 429s, the blown-drain hard exit, and the mmogaudit load report.
+daemon-smoke:
+	sh scripts/daemon_smoke.sh
 
 # Full benchmark suite (minutes).
 bench:

@@ -25,6 +25,7 @@ func main() {
 		eventsPath  = flag.String("events", "", "flight-recorder JSONL (from mmogsim -obs-events); required")
 		metricsPath = flag.String("metrics", "", "metrics snapshot JSON (from mmogsim -metrics-out)")
 		tracePath   = flag.String("trace", "", "Chrome trace_event JSON (from mmogsim -trace-out)")
+		loadPath    = flag.String("load", "", "load-generator report JSON (from mmogload -o)")
 		outPath     = flag.String("o", "", "write the report here instead of stdout")
 	)
 	flag.Parse()
@@ -72,6 +73,19 @@ func main() {
 	}
 
 	report := audit.Analyze(events, md, tr)
+
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		ld, err := audit.LoadLoadReport(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		report.AttachLoad(ld)
+	}
 
 	out := os.Stdout
 	if *outPath != "" {

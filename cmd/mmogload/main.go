@@ -1,0 +1,154 @@
+// Command mmogload replays emulator traffic against a running mmogd
+// and reports how the daemon's observe loop held up — a
+// Meterstick-style performance-variability view: tail latency of the
+// ingestion round trip (p50/p95/p99/max), the shed rate under
+// backpressure, and the admission accounting.
+//
+//	mmogd -addr 127.0.0.1:8080 &
+//	mmogload -addr 127.0.0.1:8080 -n 720 -interval 10ms -rate 10 -o load.json
+//	mmogaudit -events events.jsonl -load load.json
+//
+// The generator steps an emulated game world (the paper's Section
+// IV-D1 emulator) and POSTs each two-minute snapshot to /v1/observe at
+// interval/rate pacing: -rate 1 is the base cadence, -rate 10 the
+// 10x overload run that must shed with 429s instead of queueing
+// without bound. The -o report is consumable by cmd/mmogaudit.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"mmogdc/internal/audit"
+	"mmogdc/internal/emulator"
+	"mmogdc/internal/stats"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "mmogd address (host:port); required")
+		game     = flag.String("game", "live", "game name to observe for")
+		n        = flag.Int("n", 720, "number of samples to send (720 = one emulated day)")
+		interval = flag.Duration("interval", 10*time.Millisecond, "base pacing between samples")
+		rate     = flag.Float64("rate", 1, "rate multiplier: effective pacing is interval/rate")
+		grid     = flag.Int("grid", 12, "emulator sub-zone grid side (grid*grid zones)")
+		entities = flag.Int("entities", 1800, "peak emulated entity population")
+		seed     = flag.Uint64("seed", 1, "emulator seed")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+		outPath  = flag.String("o", "", "write the JSON load report here (for mmogaudit -load)")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "mmogload: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *rate <= 0 || *n <= 0 {
+		fmt.Fprintln(os.Stderr, "mmogload: -rate and -n must be > 0")
+		os.Exit(2)
+	}
+
+	cfg := emulator.Config{
+		Name:     "load",
+		Seed:     *seed,
+		GridW:    *grid,
+		GridH:    *grid,
+		Entities: *entities,
+		Steps:    *n,
+	}
+	world := emulator.NewWorld(cfg)
+
+	client := &http.Client{Timeout: *timeout}
+	url := "http://" + *addr + "/v1/observe"
+	pace := time.Duration(float64(*interval) / *rate)
+
+	var accepted, shed, rejected int
+	rtts := make([]float64, 0, *n)
+	values := make([]float64, *grid**grid)
+	body := &bytes.Buffer{}
+	start := time.Now()
+	next := start
+	for i := 0; i < *n; i++ {
+		world.Step()
+		counts := world.ZoneCounts()
+		for j, c := range counts {
+			values[j] = float64(c)
+		}
+		body.Reset()
+		if err := json.NewEncoder(body).Encode(map[string]any{
+			"game": *game, "values": values,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "mmogload:", err)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body.Bytes()))
+		rtts = append(rtts, float64(time.Since(t0))/float64(time.Millisecond))
+		if err != nil {
+			rejected++
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				accepted++
+			case http.StatusTooManyRequests:
+				shed++
+			default:
+				rejected++
+			}
+		}
+		// Fixed-schedule pacing (not sleep-after-response): a slow
+		// daemon does not slow the generator down, which is what makes
+		// the overload run an overload.
+		next = next.Add(pace)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	elapsed := time.Since(start)
+
+	report := &audit.LoadReport{
+		Game:            *game,
+		Samples:         *n,
+		Accepted:        accepted,
+		Shed:            shed,
+		Rejected:        rejected,
+		DurationSeconds: elapsed.Seconds(),
+		AttemptedHz:     float64(*n) / elapsed.Seconds(),
+		RTT: audit.LoadQuantiles{
+			P50MS: stats.Quantile(rtts, 0.50),
+			P95MS: stats.Quantile(rtts, 0.95),
+			P99MS: stats.Quantile(rtts, 0.99),
+			MaxMS: stats.Max(rtts),
+		},
+	}
+
+	fmt.Printf("mmogload: %d samples in %.2fs (%.1f/s attempted, pace %s)\n",
+		report.Samples, report.DurationSeconds, report.AttemptedHz, pace)
+	fmt.Printf("mmogload: sent=%d accepted=%d shed=%d rejected=%d\n",
+		report.Samples, report.Accepted, report.Shed, report.Rejected)
+	fmt.Printf("mmogload: rtt_ms p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+		report.RTT.P50MS, report.RTT.P95MS, report.RTT.P99MS, report.RTT.MaxMS)
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmogload:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "mmogload:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}

@@ -8,6 +8,10 @@
 // predicts each zone's next two minutes, converts the forecasts into
 // demand, and leases the shortfall from the data centers, tick by tick.
 //
+// This is the embedded, single-process variant of the provisioning
+// loop; cmd/mmogd wraps the same loop in a long-running service with an
+// HTTP ingestion API, admission control, and graceful drain.
+//
 //	go run ./examples/live
 package main
 
@@ -37,6 +41,15 @@ type sample struct {
 }
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run holds the whole session so every error path unwinds through the
+// deferred cleanup (the obs server, the final checkpoint) instead of
+// tearing the process down mid-loop.
+func run() error {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for operator checkpoints (empty disables; an existing checkpoint is restored and its leases reconciled)")
 	ckptEvery := flag.Int("checkpoint-every", 30, "checkpoint cadence in ticks")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. 127.0.0.1:8080; empty disables)")
@@ -48,7 +61,7 @@ func main() {
 	if *obsAddr != "" {
 		srv, err := telemetry.Serve(*obsAddr)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "obs: serving http on %s\n", srv.Addr())
@@ -108,39 +121,46 @@ func main() {
 	var err error
 	if *ckptDir != "" {
 		if mgr, err = checkpoint.NewManager(*ckptDir); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		snap, lerr := mgr.Latest()
 		switch {
 		case lerr == nil:
 			var rec *operator.Reconciliation
 			if op, rec, err = operator.FromSnapshot(opCfg, snap.Payload); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			fmt.Printf("restored checkpoint from tick %d: %d leases adopted, %d lost, %d orphans released\n\n",
 				snap.Tick, rec.Adopted, rec.Lost, rec.Orphaned)
 		case errors.Is(lerr, checkpoint.ErrNoCheckpoint):
 			// Fresh session.
 		default:
-			log.Fatal(lerr)
+			return lerr
 		}
 	}
 	if op == nil {
 		if op, err = operator.New(opCfg); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	now := time.Date(2008, 3, 1, 0, 0, 0, 0, time.UTC)
+	// One values buffer for the whole session: Observe consumes the
+	// slice synchronously, so reusing it keeps the monitoring loop free
+	// of per-tick garbage.
+	var values []float64
 	for s := range samples {
-		values := make([]float64, len(s.counts))
+		if cap(values) < len(s.counts) {
+			values = make([]float64, len(s.counts))
+		}
+		values = values[:len(s.counts)]
 		var population float64
 		for i, n := range s.counts {
 			values[i] = float64(n)
 			population += values[i]
 		}
 		if err := op.Observe(now, values); err != nil {
-			log.Fatal(err)
+			return err
 		}
 
 		if s.step%60 == 59 { // every two simulated hours
@@ -156,10 +176,10 @@ func main() {
 		if mgr != nil && s.step%*ckptEvery == *ckptEvery-1 {
 			payload, err := op.Snapshot()
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := mgr.Save(op.Metrics().Ticks, payload); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 		now = now.Add(2 * time.Minute)
@@ -168,15 +188,15 @@ func main() {
 	// End the session cleanly: release every lease and, when
 	// checkpointing, flush a final clean-shutdown snapshot.
 	if err := op.Shutdown(now, nil); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if mgr != nil {
 		payload, err := op.Snapshot()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := mgr.Save(op.Metrics().Ticks, payload); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
@@ -188,4 +208,5 @@ func main() {
 	fmt.Printf("obs: %d metric series, %d events recorded (%d dropped from the ring, %d sink errors)\n",
 		telemetry.Registry.SeriesCount(), telemetry.Recorder.Total(),
 		telemetry.Recorder.Dropped(), telemetry.Recorder.SinkErrs())
+	return nil
 }

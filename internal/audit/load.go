@@ -1,0 +1,56 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// LoadQuantiles is a Meterstick-style tail-latency summary in
+// milliseconds.
+type LoadQuantiles struct {
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// LoadReport is cmd/mmogload's machine-readable run summary: how the
+// daemon's admission behaved under the generated load (accepted vs
+// shed vs rejected) and the observe-loop round-trip latency tail —
+// the performance-variability view Meterstick takes of game hosting.
+// mmogaudit ingests it with -load and folds it into the audit.
+type LoadReport struct {
+	Game            string        `json:"game"`
+	Samples         int           `json:"samples"`
+	Accepted        int           `json:"accepted"`
+	Shed            int           `json:"shed"`
+	Rejected        int           `json:"rejected"`
+	DurationSeconds float64       `json:"duration_seconds"`
+	AttemptedHz     float64       `json:"attempted_hz"`
+	RTT             LoadQuantiles `json:"rtt"`
+	// DrainSeconds is the daemon's measured drain time when the
+	// generator captured it (0 otherwise).
+	DrainSeconds float64 `json:"drain_seconds,omitempty"`
+}
+
+// LoadLoadReport parses a cmd/mmogload -o document.
+func LoadLoadReport(r io.Reader) (*LoadReport, error) {
+	var ld LoadReport
+	if err := json.NewDecoder(r).Decode(&ld); err != nil {
+		return nil, fmt.Errorf("audit: load report: %w", err)
+	}
+	return &ld, nil
+}
+
+// AttachLoad folds a load-generator report into the audit: the
+// Meterstick-style section renders, and the admission accounting is
+// consistency-checked (every sent sample must be accounted for as
+// accepted, shed, or rejected).
+func (rp *Report) AttachLoad(ld *LoadReport) {
+	rp.Load = ld
+	rp.Checks = append(rp.Checks,
+		check("load samples all accounted (accepted+shed+rejected)",
+			fmt.Sprint(ld.Samples),
+			fmt.Sprint(ld.Accepted+ld.Shed+ld.Rejected)))
+}

@@ -111,6 +111,9 @@ type Report struct {
 	RetryLatency    LatencyDist
 	Phases          []PhaseStat
 
+	// From a cmd/mmogload report (nil when absent; see AttachLoad).
+	Load *LoadReport
+
 	Checks []Check
 }
 
@@ -412,6 +415,25 @@ func (rp *Report) Render(w io.Writer) error {
 		b.WriteString("| span | count | total us | mean us |\n|---|---:|---:|---:|\n")
 		for _, p := range rp.Phases {
 			fmt.Fprintf(&b, "| %s | %d | %.1f | %.1f |\n", p.Name, p.Spans, p.TotalUS, p.MeanUS)
+		}
+		b.WriteString("\n")
+	}
+
+	if rp.Load != nil {
+		ld := rp.Load
+		b.WriteString("## Daemon load (Meterstick-style)\n\n")
+		fmt.Fprintf(&b, "game %s: %d samples in %.2fs (%.1f/s attempted)\n",
+			ld.Game, ld.Samples, ld.DurationSeconds, ld.AttemptedHz)
+		shedPct := 0.0
+		if ld.Samples > 0 {
+			shedPct = 100 * float64(ld.Shed) / float64(ld.Samples)
+		}
+		fmt.Fprintf(&b, "accepted %d  shed %d (%.1f%%)  rejected %d\n",
+			ld.Accepted, ld.Shed, shedPct, ld.Rejected)
+		fmt.Fprintf(&b, "observe-loop RTT ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
+			ld.RTT.P50MS, ld.RTT.P95MS, ld.RTT.P99MS, ld.RTT.MaxMS)
+		if ld.DrainSeconds > 0 {
+			fmt.Fprintf(&b, "drain time: %.3fs\n", ld.DrainSeconds)
 		}
 		b.WriteString("\n")
 	}

@@ -1,0 +1,198 @@
+// Package daemon implements the long-running provisioning service of
+// cmd/mmogd: an HTTP ingestion API wrapped around internal/operator,
+// with admission control and backpressure (a bounded ingest queue per
+// game that sheds with 429s when observe falls behind), hot config
+// reload (the cadence and fault-injection knobs swap atomically,
+// validated before the swap), and graceful drain (stop admitting,
+// flush in-flight ticks, release leases, flush a final checkpoint).
+// examples/live is the embedded, single-process variant of the same
+// loop; this package is the service the ROADMAP's live-service item
+// asks for.
+package daemon
+
+import (
+	"fmt"
+	"time"
+
+	"mmogdc/internal/ecosystem"
+	"mmogdc/internal/geo"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/obs"
+	"mmogdc/internal/predict"
+)
+
+// GameSpec declares one game the daemon provisions for. The zone count
+// is not part of the spec — the first accepted observation (or a
+// restored checkpoint) fixes it.
+type GameSpec struct {
+	// Name identifies the game in the API and in checkpoint paths.
+	Name string
+	// Genre fixes the update model and latency tolerance.
+	Genre mmog.Genre
+	// Origin is where the game's players are (for latency matching).
+	Origin geo.Point
+}
+
+// Config assembles a daemon. Only Games, Predictor, and Matcher are
+// required; everything else has serviceable defaults.
+type Config struct {
+	// Games are the provisioned games; each gets its own operator,
+	// ingest queue, and worker.
+	Games []GameSpec
+	// Predictor builds the per-zone predictors of every operator.
+	Predictor predict.Factory
+	// Matcher is the shared data-center ecosystem. The daemon
+	// serializes all access to it (the matcher is not concurrency-safe).
+	Matcher *ecosystem.Matcher
+	// Obs streams the daemon's telemetry; nil gets a fresh bundle (the
+	// daemon's metrics are always on — they are its ops surface).
+	Obs *obs.Obs
+	// QueueDepth bounds each game's ingest queue; defaults to 64.
+	// When the queue is full, observations are shed with 429.
+	QueueDepth int
+	// MaxBodyBytes bounds one request body; defaults to 1 MiB.
+	MaxBodyBytes int64
+	// CheckpointDir enables crash safety: each game checkpoints into
+	// <dir>/<game> on the hot config's cadence and once more at drain.
+	// An existing checkpoint is restored at startup and its lease book
+	// reconciled. Empty disables.
+	CheckpointDir string
+	// Start anchors each game's virtual monitoring clock; defaults to
+	// 2008-03-01 00:00 UTC (the paper's trace epoch).
+	Start time.Time
+	// Hot is the initial hot-reloadable configuration; the zero value
+	// means DefaultHot().
+	Hot HotConfig
+	// SafetyMargin inflates forecasts before requesting (0 = exact).
+	SafetyMargin float64
+}
+
+// HotConfig is the subset of the configuration that POST /v1/config or
+// SIGHUP swaps atomically while the daemon runs: the predictor and
+// checkpoint cadences and the fault-injection knobs. A candidate is
+// validated before the swap; a rejected candidate leaves the previous
+// configuration active.
+type HotConfig struct {
+	// TickSeconds is the virtual monitoring interval one accepted
+	// sample advances a game's clock by — the predictor cadence: the
+	// forecast horizon is one tick. Must be > 0.
+	TickSeconds float64 `json:"tick_seconds"`
+	// CheckpointEvery is the number of ticks between cadence
+	// checkpoints; 0 disables cadence saves (the drain checkpoint
+	// still happens). Must be >= 0.
+	CheckpointEvery int `json:"checkpoint_every"`
+	// ObserveTimeoutMS bounds one observe→predict→acquire pass; an
+	// expired deadline skips the unfinished stages (see
+	// operator.ObserveCtx) and counts an observe timeout. 0 disables.
+	ObserveTimeoutMS int `json:"observe_timeout_ms"`
+	// ObserveDelayMS injects an artificial processing delay per
+	// observed sample — the fault knob that makes backpressure
+	// reproducible (a slow observe loop on demand). Must be >= 0.
+	ObserveDelayMS int `json:"observe_delay_ms"`
+	// FaultRejectProb / FaultPartialProb inject hoster-side grant
+	// faults: each center grant attempt is rejected outright, or
+	// trimmed to a uniform 25–75%, with these probabilities.
+	FaultRejectProb  float64 `json:"fault_reject_prob"`
+	FaultPartialProb float64 `json:"fault_partial_prob"`
+	// FaultDropoutProb is the probability that one zone's sample is
+	// replaced by NaN before the observe (a monitoring dropout the
+	// operator bridges with LOCF).
+	FaultDropoutProb float64 `json:"fault_dropout_prob"`
+	// FaultSeed seeds the injection streams; changing it on reload
+	// reseeds them.
+	FaultSeed uint64 `json:"fault_seed"`
+}
+
+// DefaultHot returns the hot configuration the daemon starts with when
+// none is given: the paper's two-minute tick, checkpoints every 30
+// ticks, a one-second observe deadline, and no fault injection.
+func DefaultHot() HotConfig {
+	return HotConfig{
+		TickSeconds:      120,
+		CheckpointEvery:  30,
+		ObserveTimeoutMS: 1000,
+		FaultSeed:        1,
+	}
+}
+
+// Validate rejects hot configurations outside the model's domain.
+func (h HotConfig) Validate() error {
+	if h.TickSeconds <= 0 {
+		return fmt.Errorf("daemon: tick_seconds must be > 0, got %v", h.TickSeconds)
+	}
+	if h.CheckpointEvery < 0 {
+		return fmt.Errorf("daemon: checkpoint_every must be >= 0, got %d", h.CheckpointEvery)
+	}
+	if h.ObserveTimeoutMS < 0 {
+		return fmt.Errorf("daemon: observe_timeout_ms must be >= 0, got %d", h.ObserveTimeoutMS)
+	}
+	if h.ObserveDelayMS < 0 {
+		return fmt.Errorf("daemon: observe_delay_ms must be >= 0, got %d", h.ObserveDelayMS)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"fault_reject_prob", h.FaultRejectProb},
+		{"fault_partial_prob", h.FaultPartialProb},
+		{"fault_dropout_prob", h.FaultDropoutProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("daemon: %s must be in [0,1], got %v", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// Tick returns the virtual monitoring interval as a duration.
+func (h HotConfig) Tick() time.Duration {
+	return time.Duration(h.TickSeconds * float64(time.Second))
+}
+
+// ObserveTimeout returns the per-observe deadline (0 = none).
+func (h HotConfig) ObserveTimeout() time.Duration {
+	return time.Duration(h.ObserveTimeoutMS) * time.Millisecond
+}
+
+// ObserveDelay returns the injected per-observe delay (0 = none).
+func (h HotConfig) ObserveDelay() time.Duration {
+	return time.Duration(h.ObserveDelayMS) * time.Millisecond
+}
+
+func (c *Config) withDefaults() error {
+	if len(c.Games) == 0 {
+		return fmt.Errorf("daemon: at least one game required")
+	}
+	seen := map[string]bool{}
+	for _, g := range c.Games {
+		if g.Name == "" {
+			return fmt.Errorf("daemon: game with empty name")
+		}
+		if seen[g.Name] {
+			return fmt.Errorf("daemon: duplicate game %q", g.Name)
+		}
+		seen[g.Name] = true
+	}
+	if c.Predictor == nil {
+		return fmt.Errorf("daemon: predictor required")
+	}
+	if c.Matcher == nil {
+		return fmt.Errorf("daemon: matcher required")
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2008, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Hot == (HotConfig{}) {
+		c.Hot = DefaultHot()
+	}
+	return c.Hot.Validate()
+}

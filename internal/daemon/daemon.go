@@ -1,0 +1,434 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmogdc/internal/checkpoint"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/obs"
+	"mmogdc/internal/operator"
+	"mmogdc/internal/xrand"
+)
+
+// ErrDrainTimeout is returned by Drain when the deadline expires
+// before the in-flight work flushed; cmd/mmogd hard-exits with a
+// distinct code on it.
+var ErrDrainTimeout = errors.New("daemon: drain deadline exceeded")
+
+// sample is one admitted observation waiting in a game's ingest queue.
+type sample struct {
+	values []float64
+	tick   int64
+	enq    time.Time
+}
+
+// game is one provisioned game's runtime state: the operator, its
+// bounded ingest queue, the worker metrics, and the checkpoint store.
+type game struct {
+	spec GameSpec
+	mgr  *checkpoint.Manager
+
+	// op, now, and dropRng are guarded by Daemon.ecoMu (the operator
+	// shares the matcher with every other game).
+	op      *operator.Operator
+	now     time.Time
+	dropRng *xrand.Rand
+
+	// Restore outcome (nil when the game started fresh).
+	rec          *operator.Reconciliation
+	restoredTick int
+
+	// qmu guards queue against the close in BeginDrain; admission
+	// holds it shared, the drain exclusively.
+	qmu    sync.RWMutex
+	queue  chan sample
+	closed bool
+
+	// zones is the expected zone count (0 until the first accepted
+	// observation or a restored checkpoint fixes it).
+	zones atomic.Int64
+	// tick numbers admitted observations (the value 202 responses
+	// report).
+	tick atomic.Int64
+
+	mIngest     *obs.Counter
+	mShed       *obs.Counter
+	mTimeouts   *obs.Counter
+	mErrors     *obs.Counter
+	mCkpt       *obs.Counter
+	mCkptErrs   *obs.Counter
+	mQueueDepth *obs.Gauge
+	mLoop       *obs.Histogram
+}
+
+// Daemon is the running provisioning service. Build one with New,
+// expose it with Serve (or Handler), and stop it with Drain.
+type Daemon struct {
+	cfg   Config
+	hot   atomic.Pointer[HotConfig]
+	obs   *obs.Obs
+	games map[string]*game
+	order []string
+
+	// ecoMu serializes every touch of the shared matcher and the
+	// operators behind it — the ecosystem is single-threaded by
+	// contract, so observes, ops reads, and the drain all line up here.
+	ecoMu sync.Mutex
+
+	inj *grantInjector
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+	wg        sync.WaitGroup
+
+	mRejected     map[string]*obs.Counter
+	mReloadOK     *obs.Counter
+	mReloadBad    *obs.Counter
+	mDraining     *obs.Gauge
+	mDrainSeconds *obs.Gauge
+}
+
+// New validates cfg, restores any checkpointed state, installs the
+// grant-fault injector on the matcher, and starts one ingest worker
+// per game. The daemon is live (but unreachable) until Serve.
+func New(cfg Config) (*Daemon, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		obs:       cfg.Obs,
+		games:     make(map[string]*game, len(cfg.Games)),
+		mRejected: map[string]*obs.Counter{},
+	}
+	hot := cfg.Hot
+	d.hot.Store(&hot)
+	d.inj = newGrantInjector(d, hot.FaultSeed)
+	cfg.Matcher.SetFaultInjector(d.inj)
+
+	r := d.obs.Registry
+	d.mReloadOK = r.Counter("mmogdc_daemon_reloads_total",
+		"Hot config reloads by outcome.", obs.L("outcome", "applied"))
+	d.mReloadBad = r.Counter("mmogdc_daemon_reloads_total",
+		"Hot config reloads by outcome.", obs.L("outcome", "rejected"))
+	d.mDraining = r.Gauge("mmogdc_daemon_draining",
+		"1 while the daemon is draining (readyz reports 503).")
+	d.mDrainSeconds = r.Gauge("mmogdc_daemon_drain_seconds",
+		"Wall-clock duration of the completed drain.")
+
+	for _, spec := range cfg.Games {
+		g, err := d.newGame(spec, hot)
+		if err != nil {
+			return nil, err
+		}
+		d.games[spec.Name] = g
+		d.order = append(d.order, spec.Name)
+		d.wg.Add(1)
+		go d.worker(g)
+	}
+	return d, nil
+}
+
+func (d *Daemon) newGame(spec GameSpec, hot HotConfig) (*game, error) {
+	opCfg := operator.Config{
+		Game:         mmog.NewGame(spec.Name, spec.Genre),
+		Origin:       spec.Origin,
+		Predictor:    d.cfg.Predictor,
+		Matcher:      d.cfg.Matcher,
+		SafetyMargin: d.cfg.SafetyMargin,
+		Tick:         hot.Tick(),
+		Obs:          d.obs,
+	}
+	g := &game{
+		spec:         spec,
+		queue:        make(chan sample, d.cfg.QueueDepth),
+		now:          d.cfg.Start,
+		dropRng:      xrand.New(hot.FaultSeed ^ 0xd40f001d5eed ^ hashName(spec.Name)),
+		restoredTick: -1,
+	}
+	if d.cfg.CheckpointDir != "" {
+		mgr, err := checkpoint.NewManager(filepath.Join(d.cfg.CheckpointDir, spec.Name))
+		if err != nil {
+			return nil, err
+		}
+		g.mgr = mgr
+		snap, err := mgr.Latest()
+		switch {
+		case err == nil:
+			op, rec, rerr := operator.FromSnapshot(opCfg, snap.Payload)
+			if rerr != nil {
+				return nil, rerr
+			}
+			g.op, g.rec, g.restoredTick = op, rec, snap.Tick
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Fresh game.
+		default:
+			return nil, err
+		}
+	}
+	if g.op == nil {
+		op, err := operator.New(opCfg)
+		if err != nil {
+			return nil, err
+		}
+		g.op = op
+	}
+	ticks := g.op.Metrics().Ticks
+	g.tick.Store(int64(ticks))
+	g.now = d.cfg.Start.Add(time.Duration(ticks) * hot.Tick())
+	if z := g.op.ZoneCount(); z > 0 {
+		g.zones.Store(int64(z))
+	}
+
+	r := d.obs.Registry
+	lg := obs.L("game", spec.Name)
+	g.mIngest = r.Counter("mmogdc_daemon_ingest_total",
+		"Observations admitted into the ingest queue.", lg)
+	g.mShed = r.Counter("mmogdc_daemon_shed_total",
+		"Observations shed with 429 because the ingest queue was full.", lg)
+	g.mTimeouts = r.Counter("mmogdc_daemon_observe_timeouts_total",
+		"Observe passes cut short by the observe deadline.", lg)
+	g.mErrors = r.Counter("mmogdc_daemon_observe_errors_total",
+		"Observe passes that failed outright.", lg)
+	g.mCkpt = r.Counter("mmogdc_daemon_checkpoints_total",
+		"Cadence and drain checkpoints written.", lg)
+	g.mCkptErrs = r.Counter("mmogdc_daemon_checkpoint_errors_total",
+		"Checkpoint writes that failed.", lg)
+	g.mQueueDepth = r.Gauge("mmogdc_daemon_queue_depth",
+		"Observations waiting in the ingest queue.", lg)
+	g.mLoop = r.Histogram("mmogdc_daemon_observe_loop_seconds",
+		"Admission-to-observed latency of one observation (queue wait plus the observe pass).",
+		obs.TimeBuckets, lg)
+	return g, nil
+}
+
+// hashName folds a game name into the per-game dropout stream seed
+// (FNV-1a) so co-hosted games do not share dropout patterns.
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// Hot returns the active hot configuration.
+func (d *Daemon) Hot() HotConfig { return *d.hot.Load() }
+
+// Reload validates h and, if valid, swaps it in atomically; an invalid
+// candidate is rejected and the previous configuration stays active.
+// Changing FaultSeed reseeds the injection streams.
+func (d *Daemon) Reload(h HotConfig) error {
+	if err := h.Validate(); err != nil {
+		d.mReloadBad.Inc()
+		return err
+	}
+	old := d.hot.Load()
+	d.hot.Store(&h)
+	if h.FaultSeed != old.FaultSeed {
+		d.inj.reseed(h.FaultSeed)
+		d.ecoMu.Lock()
+		for _, name := range d.order {
+			g := d.games[name]
+			g.dropRng = xrand.New(h.FaultSeed ^ 0xd40f001d5eed ^ hashName(name))
+		}
+		d.ecoMu.Unlock()
+	}
+	d.mReloadOK.Inc()
+	return nil
+}
+
+// Draining reports whether the daemon has stopped admitting.
+func (d *Daemon) Draining() bool { return d.draining.Load() }
+
+// Reconciliation returns the named game's restore outcome: the
+// checkpoint tick and the lease reconciliation, or ok=false when the
+// game started fresh (or is unknown).
+func (d *Daemon) Reconciliation(gameName string) (tick int, rec operator.Reconciliation, ok bool) {
+	g := d.games[gameName]
+	if g == nil || g.rec == nil {
+		return 0, operator.Reconciliation{}, false
+	}
+	return g.restoredTick, *g.rec, true
+}
+
+// Admission error sentinels (mapped to typed HTTP errors in server.go).
+var (
+	errQueueFull = errors.New("daemon: ingest queue full")
+	errDraining  = errors.New("daemon: draining")
+)
+
+// enqueue admits one observation into g's bounded queue, or reports
+// why it cannot: the daemon is draining, or the queue is full (the
+// caller sheds with 429 + Retry-After).
+func (d *Daemon) enqueue(g *game, values []float64) (int64, error) {
+	g.qmu.RLock()
+	defer g.qmu.RUnlock()
+	if g.closed || d.draining.Load() {
+		return 0, errDraining
+	}
+	s := sample{values: values, enq: time.Now()}
+	select {
+	case g.queue <- s:
+		tick := g.tick.Add(1)
+		g.mIngest.Inc()
+		g.mQueueDepth.Set(float64(len(g.queue)))
+		return tick, nil
+	default:
+		g.mShed.Inc()
+		return 0, errQueueFull
+	}
+}
+
+// worker drains one game's ingest queue until BeginDrain closes it.
+func (d *Daemon) worker(g *game) {
+	defer d.wg.Done()
+	for s := range g.queue {
+		d.observeOne(g, s)
+	}
+}
+
+// observeOne runs one admitted observation through the operator:
+// injected dropouts, the context deadline, the virtual clock advance,
+// and the checkpoint cadence.
+func (d *Daemon) observeOne(g *game, s sample) {
+	hot := d.hot.Load()
+	if delay := hot.ObserveDelay(); delay > 0 {
+		// The injected slow-observe happens outside the ecosystem lock
+		// so the ops endpoints stay responsive while the queue backs up.
+		time.Sleep(delay)
+	}
+	ctx := context.Background()
+	if t := hot.ObserveTimeout(); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+
+	d.ecoMu.Lock()
+	if p := hot.FaultDropoutProb; p > 0 {
+		for i := range s.values {
+			if g.dropRng.Bool(p) {
+				s.values[i] = math.NaN()
+			}
+		}
+	}
+	err := g.op.ObserveCtx(ctx, g.now, s.values)
+	g.now = g.now.Add(hot.Tick())
+	ticks := g.op.Metrics().Ticks
+	var payload []byte
+	needCkpt := g.mgr != nil && hot.CheckpointEvery > 0 && ticks > 0 && ticks%hot.CheckpointEvery == 0
+	if needCkpt {
+		var serr error
+		if payload, serr = g.op.Snapshot(); serr != nil {
+			needCkpt = false
+			g.mCkptErrs.Inc()
+		}
+	}
+	d.ecoMu.Unlock()
+
+	switch {
+	case err == nil:
+	case errors.Is(err, operator.ErrObserveAborted), errors.Is(err, operator.ErrAcquireAborted):
+		g.mTimeouts.Inc()
+	default:
+		g.mErrors.Inc()
+	}
+	if needCkpt {
+		if err := g.mgr.Save(ticks, payload); err != nil {
+			g.mCkptErrs.Inc()
+		} else {
+			g.mCkpt.Inc()
+		}
+	}
+	g.mLoop.Observe(time.Since(s.enq).Seconds())
+	g.mQueueDepth.Set(float64(len(g.queue)))
+}
+
+// BeginDrain flips the daemon into draining: /readyz reports 503, new
+// observations are refused with 503, and each game's queue is closed
+// so the workers exit after flushing what is already admitted.
+// Idempotent.
+func (d *Daemon) BeginDrain() {
+	d.drainOnce.Do(func() {
+		d.draining.Store(true)
+		d.mDraining.Set(1)
+		for _, name := range d.order {
+			g := d.games[name]
+			g.qmu.Lock()
+			g.closed = true
+			close(g.queue)
+			g.qmu.Unlock()
+		}
+	})
+}
+
+// Drain gracefully stops the daemon: BeginDrain, wait for every
+// in-flight and queued observation to flush (each bounded by the
+// observe deadline), then release all leases via Operator.Shutdown and
+// flush a final checkpoint per game. If ctx expires before the flush
+// completes, Drain returns ErrDrainTimeout (wrapping the context
+// error) without shutting the operators down — the caller hard-exits.
+// After a timeout, a later call retries the wait and completes the
+// shutdown once the workers have flushed.
+func (d *Daemon) Drain(ctx context.Context) error {
+	start := time.Now()
+	d.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %w", ErrDrainTimeout, ctx.Err())
+	}
+
+	var firstErr error
+	for _, name := range d.order {
+		g := d.games[name]
+		d.ecoMu.Lock()
+		err := g.op.Shutdown(g.now, nil)
+		var payload []byte
+		ticks := g.op.Metrics().Ticks
+		if err == nil && g.mgr != nil {
+			payload, err = g.op.Snapshot()
+		}
+		d.ecoMu.Unlock()
+		if err == nil && g.mgr != nil {
+			err = g.mgr.Save(ticks, payload)
+		}
+		if err != nil {
+			g.mCkptErrs.Inc()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("daemon: drain %q: %w", name, err)
+			}
+			continue
+		}
+		if g.mgr != nil {
+			g.mCkpt.Inc()
+		}
+	}
+	d.mDrainSeconds.Set(time.Since(start).Seconds())
+	return firstErr
+}
+
+// Ticks returns the named game's observed tick count (0 for unknown
+// games).
+func (d *Daemon) Ticks(gameName string) int {
+	g := d.games[gameName]
+	if g == nil {
+		return 0
+	}
+	d.ecoMu.Lock()
+	defer d.ecoMu.Unlock()
+	return g.op.Metrics().Ticks
+}

@@ -1,0 +1,283 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"time"
+
+	"mmogdc/internal/obs"
+	"mmogdc/internal/operator"
+)
+
+// The daemon's HTTP surface:
+//
+//	POST /v1/observe    ingest one per-game tick sample (202 / 429 / 4xx)
+//	GET  /v1/forecast   latest per-zone forecast for one game
+//	GET  /v1/leases     the live lease book for one game
+//	GET  /v1/config     the active hot configuration
+//	POST /v1/config     validate-and-swap a new hot configuration
+//	GET  /healthz       process liveness (always 200 while serving)
+//	GET  /readyz        admission readiness (503 while draining)
+//	GET  /metrics …     the observability surface (internal/obs)
+//
+// Error responses are typed JSON: {"error":{"code":..., "message":...}}.
+
+// apiError is the typed error body every non-2xx response carries.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (d *Daemon) typedError(w http.ResponseWriter, status int, code, msg string) {
+	d.rejected(code)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
+// rejected counts one refused request by reason code. The counter map
+// is tiny (one entry per code) and lazily built.
+func (d *Daemon) rejected(code string) {
+	d.ecoMu.Lock()
+	c := d.mRejected[code]
+	if c == nil {
+		c = d.obs.Registry.Counter("mmogdc_daemon_rejected_total",
+			"Requests refused, by typed error code.", obs.L("reason", code))
+		d.mRejected[code] = c
+	}
+	d.ecoMu.Unlock()
+	c.Inc()
+}
+
+// ObserveRequest is the POST /v1/observe body: one monitoring snapshot
+// of per-zone entity counts (or any non-negative load measure).
+type ObserveRequest struct {
+	Game   string    `json:"game"`
+	Values []float64 `json:"values"`
+}
+
+func (d *Daemon) handleObserve(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, d.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req ObserveRequest
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			d.typedError(w, http.StatusRequestEntityTooLarge, "oversized_body",
+				fmt.Sprintf("body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		d.typedError(w, http.StatusBadRequest, "malformed_body", err.Error())
+		return
+	}
+	g := d.games[req.Game]
+	if g == nil {
+		d.typedError(w, http.StatusNotFound, "unknown_game",
+			fmt.Sprintf("game %q is not provisioned by this daemon", req.Game))
+		return
+	}
+	if len(req.Values) == 0 {
+		d.typedError(w, http.StatusBadRequest, "bad_value", "values must carry at least one zone")
+		return
+	}
+	for i, v := range req.Values {
+		if math.IsInf(v, 0) || math.IsNaN(v) || v < 0 {
+			d.typedError(w, http.StatusBadRequest, "bad_value",
+				fmt.Sprintf("values[%d] = %v is not a finite non-negative load", i, v))
+			return
+		}
+	}
+	// The first accepted observation fixes the game's zone count; every
+	// later snapshot must match it (a malformed client must not wedge
+	// the operator with shape errors).
+	n := int64(len(req.Values))
+	if !g.zones.CompareAndSwap(0, n) && g.zones.Load() != n {
+		d.typedError(w, http.StatusConflict, "zone_mismatch",
+			fmt.Sprintf("observed %d zones, game %q has %d", n, req.Game, g.zones.Load()))
+		return
+	}
+	tick, err := d.enqueue(g, req.Values)
+	switch {
+	case errors.Is(err, errDraining):
+		d.typedError(w, http.StatusServiceUnavailable, "draining", "daemon is draining; not admitting")
+		return
+	case errors.Is(err, errQueueFull):
+		// Backpressure: shed with 429 and tell the client when to come
+		// back — one observe deadline is the worst-case drain time of
+		// one queue slot.
+		retry := 1
+		if t := d.hot.Load().ObserveTimeout(); t > time.Second {
+			retry = int(t / time.Second)
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(retry))
+		d.typedError(w, http.StatusTooManyRequests, "queue_full",
+			fmt.Sprintf("ingest queue for %q is full (%d waiting)", req.Game, cap(g.queue)))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{
+		"game": req.Game, "tick": tick, "queued": len(g.queue),
+	})
+}
+
+// gameFor resolves the ?game= query parameter, defaulting to the only
+// game when exactly one is provisioned.
+func (d *Daemon) gameFor(w http.ResponseWriter, r *http.Request) *game {
+	name := r.URL.Query().Get("game")
+	if name == "" && len(d.order) == 1 {
+		name = d.order[0]
+	}
+	g := d.games[name]
+	if g == nil {
+		d.typedError(w, http.StatusNotFound, "unknown_game",
+			fmt.Sprintf("game %q is not provisioned by this daemon", name))
+		return nil
+	}
+	return g
+}
+
+func (d *Daemon) handleForecast(w http.ResponseWriter, r *http.Request) {
+	g := d.gameFor(w, r)
+	if g == nil {
+		return
+	}
+	d.ecoMu.Lock()
+	m := g.op.Metrics()
+	src := g.op.Forecast()
+	forecast := append([]float64(nil), src...)
+	d.ecoMu.Unlock()
+	total := 0.0
+	for _, f := range forecast {
+		total += f
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(map[string]any{
+		"game": g.spec.Name, "ticks": m.Ticks, "zones": len(forecast),
+		"total": total, "forecast": forecast,
+	})
+}
+
+func (d *Daemon) handleLeases(w http.ResponseWriter, r *http.Request) {
+	g := d.gameFor(w, r)
+	if g == nil {
+		return
+	}
+	d.ecoMu.Lock()
+	views := g.op.LeaseViews(g.now)
+	d.ecoMu.Unlock()
+	if views == nil {
+		views = []operator.LeaseView{}
+	}
+	cpu := 0.0
+	for _, v := range views {
+		cpu += v.CPU
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(map[string]any{
+		"game": g.spec.Name, "count": len(views), "cpu_units": cpu, "leases": views,
+	})
+}
+
+func (d *Daemon) handleConfigGet(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(d.Hot())
+}
+
+func (d *Daemon) handleConfigPost(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, d.cfg.MaxBodyBytes)
+	// The candidate starts from the active configuration, so a partial
+	// body tweaks only the fields it names.
+	h := d.Hot()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&h); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			d.typedError(w, http.StatusRequestEntityTooLarge, "oversized_body",
+				fmt.Sprintf("body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		d.typedError(w, http.StatusBadRequest, "malformed_body", err.Error())
+		return
+	}
+	if err := d.Reload(h); err != nil {
+		d.typedError(w, http.StatusBadRequest, "invalid_config", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(map[string]any{"applied": true, "config": d.Hot()})
+}
+
+// Handler returns the daemon's full HTTP surface: the /v1 API, the
+// health endpoints, and the observability mux (metrics, events,
+// pprof) as the fallback.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/observe", d.handleObserve)
+	mux.HandleFunc("GET /v1/forecast", d.handleForecast)
+	mux.HandleFunc("GET /v1/leases", d.handleLeases)
+	mux.HandleFunc("GET /v1/config", d.handleConfigGet)
+	mux.HandleFunc("POST /v1/config", d.handleConfigPost)
+	// Method-less duplicates catch method confusion with a typed 405;
+	// without them the mux would fall through to the "/" pattern below
+	// and report a misleading 404 from the obs surface.
+	for path, allow := range map[string]string{
+		"/v1/observe": "POST", "/v1/forecast": "GET", "/v1/leases": "GET", "/v1/config": "GET, POST",
+	} {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			d.typedError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("%s does not allow %s", r.URL.Path, r.Method))
+		})
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if d.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	mux.Handle("/", d.obs.Handler())
+	return mux
+}
+
+// Server is the daemon's running HTTP listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the daemon's API on addr (use "127.0.0.1:0" for an
+// ephemeral port) behind the hardened obs HTTP server — header, read,
+// write, and idle deadlines plus a header-size cap, so a slow or
+// malicious client cannot wedge the ingestion surface.
+func (d *Daemon) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	s := &Server{ln: ln, srv: obs.HardenedServer(d.Handler())}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (with the real ephemeral port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener immediately (in-flight requests are cut).
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting and waits for in-flight requests, bounded
+// by ctx.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

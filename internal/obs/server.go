@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the opt-in HTTP surface of the observability layer:
@@ -107,6 +108,35 @@ func (o *Obs) Handler() http.Handler {
 	return mux
 }
 
+// Slow-client protection defaults for HardenedServer. The generous
+// write/idle windows keep the long scrapes working — a 30-second
+// /debug/pprof/profile finishes well inside WriteTimeout — while the
+// tight header deadline evicts connections that never finish their
+// request line (slowloris), so one stuck client cannot hold the ops
+// surface open indefinitely.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = time.Minute
+	DefaultWriteTimeout      = 2 * time.Minute
+	DefaultIdleTimeout       = 2 * time.Minute
+	DefaultMaxHeaderBytes    = 64 << 10
+)
+
+// HardenedServer wraps h in an http.Server carrying the slow-client
+// protections above. Both the observability surface and cmd/mmogd's
+// ingestion API serve through it, so neither can be wedged by a client
+// that connects and stalls.
+func HardenedServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		WriteTimeout:      DefaultWriteTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+		MaxHeaderBytes:    DefaultMaxHeaderBytes,
+	}
+}
+
 // Server is a running observability HTTP server.
 type Server struct {
 	ln  net.Listener
@@ -115,13 +145,20 @@ type Server struct {
 
 // Serve starts the observability server on addr (e.g. ":8080" or
 // "127.0.0.1:0" for an ephemeral port) and returns once it is
-// listening; requests are served in a background goroutine.
+// listening; requests are served in a background goroutine. The
+// server carries the HardenedServer timeouts.
 func (o *Obs) Serve(addr string) (*Server, error) {
+	return serveWith(addr, HardenedServer(o.Handler()))
+}
+
+// serveWith binds addr and serves srv on it in the background — the
+// seam tests use to shrink the timeouts.
+func serveWith(addr string, srv *http.Server) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: %w", err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: o.Handler()}}
+	s := &Server{ln: ln, srv: srv}
 	go s.srv.Serve(ln)
 	return s, nil
 }

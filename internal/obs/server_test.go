@@ -3,9 +3,11 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestServerEndpoints(t *testing.T) {
@@ -136,5 +138,58 @@ func TestEventsFilters(t *testing.T) {
 	}
 	if code, body := get("/events?since=abc"); code != http.StatusBadRequest {
 		t.Fatalf("bad since -> %d (%s), want 400", code, body)
+	}
+}
+
+// The observability server must carry slow-client protections: a
+// client that connects and never finishes its request header cannot
+// hold a connection (and its goroutine) open indefinitely.
+func TestServeHardenedTimeouts(t *testing.T) {
+	o := New()
+	s, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := s.srv
+	if srv.ReadHeaderTimeout != DefaultReadHeaderTimeout ||
+		srv.ReadTimeout != DefaultReadTimeout ||
+		srv.WriteTimeout != DefaultWriteTimeout ||
+		srv.IdleTimeout != DefaultIdleTimeout ||
+		srv.MaxHeaderBytes != DefaultMaxHeaderBytes {
+		t.Fatalf("Serve left a timeout unset: %+v", srv)
+	}
+}
+
+// Functional slowloris check with a shrunken header deadline: the
+// server must hang up on a client that stalls mid-header.
+func TestSlowClientEvicted(t *testing.T) {
+	o := New()
+	srv := HardenedServer(o.Handler())
+	srv.ReadHeaderTimeout = 50 * time.Millisecond
+	srv.ReadTimeout = 50 * time.Millisecond
+	s, err := serveWith("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Start a request but never finish the header block.
+	if _, err := io.WriteString(conn, "GET /metrics HTTP/1.1\r\nHost: x\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		// A 408 response body also proves the eviction; either way the
+		// next read must hit EOF.
+		if _, err := io.ReadAll(conn); err != nil {
+			t.Fatalf("read after eviction: %v", err)
+		}
 	}
 }

@@ -11,6 +11,8 @@
 package operator
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -21,6 +23,21 @@ import (
 	"mmogdc/internal/mmog"
 	"mmogdc/internal/obs"
 	"mmogdc/internal/predict"
+)
+
+// Context-abort sentinels for ObserveCtx. Both wrap the context's own
+// error, so errors.Is(err, context.DeadlineExceeded) still matches.
+var (
+	// ErrObserveAborted means the context expired before the snapshot
+	// was ingested: no operator state changed, and the caller may
+	// safely re-submit the same snapshot.
+	ErrObserveAborted = errors.New("observe aborted before ingestion")
+	// ErrAcquireAborted means the snapshot WAS ingested and scored
+	// (the tick counter advanced and the predictors saw the sample)
+	// but the context expired before the lease acquisition, which was
+	// skipped. The snapshot must not be re-submitted; the next tick's
+	// acquisition covers the standing shortfall.
+	ErrAcquireAborted = errors.New("lease acquisition aborted")
 )
 
 // Backoff policy after injected grant rejections, mirroring
@@ -137,6 +154,21 @@ type Metrics struct {
 // grant rejections back off boundedly (1, 2, 4, then 8 ticks) instead
 // of hammering the ecosystem every tick.
 func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
+	return o.ObserveCtx(context.Background(), now, zoneLoads)
+}
+
+// ObserveCtx is Observe with a deadline: the context is checked at the
+// two points where aborting leaves the operator coherent — before any
+// state is touched (ErrObserveAborted: the snapshot was not consumed)
+// and between the forecast and the lease acquisition
+// (ErrAcquireAborted: the snapshot was consumed, the acquisition is
+// deferred to the next tick). The stages themselves are not
+// interruptible; the granularity is one stage, which bounds one call
+// at roughly the cost of a predict pass plus a matcher walk.
+func (o *Operator) ObserveCtx(ctx context.Context, now time.Time, zoneLoads []float64) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("operator: %w: %w", ErrObserveAborted, err)
+	}
 	if o.zones != nil && len(zoneLoads) != o.zones.Len() {
 		// Reject before touching any state: a malformed snapshot must
 		// not advance the tick counter, expire leases, or skew metrics.
@@ -196,6 +228,9 @@ func (o *Operator) Observe(now time.Time, zoneLoads []float64) error {
 		return err
 	}
 	o.lastForecast = o.zones.PredictEachInto(o.lastForecast)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("operator: %w: %w", ErrAcquireAborted, err)
+	}
 	want := o.demandFor(o.lastForecast)
 	want = want.Scale(1 + o.cfg.SafetyMargin)
 	need := want.Sub(o.allocAt(now.Add(o.cfg.Tick))).ClampNonNegative()
@@ -306,6 +341,42 @@ func (o *Operator) activeCPU(now time.Time) (float64, []string) {
 	}
 	o.leases = live
 	return sum, lost
+}
+
+// ZoneCount returns the number of monitored zones (fixed by the first
+// Observe or a restored checkpoint; 0 before either).
+func (o *Operator) ZoneCount() int {
+	if o.zones == nil {
+		return 0
+	}
+	return o.zones.Len()
+}
+
+// LeaseView describes one live lease for ops surfaces (the daemon's
+// GET /v1/leases). It carries values, not pointers, so callers can
+// serialize it without touching the operator again.
+type LeaseView struct {
+	Center  string    `json:"center"`
+	CPU     float64   `json:"cpu_units"`
+	Start   time.Time `json:"start"`
+	Expires time.Time `json:"expires"`
+}
+
+// LeaseViews snapshots the leases active at now, sorted in acquisition
+// order. The returned slice is freshly allocated.
+func (o *Operator) LeaseViews(now time.Time) []LeaseView {
+	var out []LeaseView
+	for _, l := range o.leases {
+		if l.Active(now) && l.Center != nil {
+			out = append(out, LeaseView{
+				Center:  l.Center.Name,
+				CPU:     l.Alloc[datacenter.CPU],
+				Start:   l.Start,
+				Expires: l.Expires,
+			})
+		}
+	}
+	return out
 }
 
 // allocAt sums leases still active at t, without pruning (the renewal

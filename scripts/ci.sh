@@ -47,3 +47,9 @@ rm -rf "$d"
 # run, byte-diff obs-on stdout against obs-off (write-only telemetry
 # contract), and run the run's artifacts through mmogaudit.
 sh scripts/obs_smoke.sh
+
+# Daemon smoke: the full mmogd lifecycle — load, SIGTERM drain,
+# checkpoint restart with lease reconciliation (clean and after
+# kill -9), hot reload (HTTP + SIGHUP), 10x overload shedding with
+# 429s, the blown-drain hard exit, and the mmogaudit load report.
+sh scripts/daemon_smoke.sh

@@ -1,0 +1,170 @@
+#!/usr/bin/env sh
+# Daemon smoke: the full mmogd lifecycle end to end, single-CPU cheap.
+#
+#   1. serve + load at 1x, SIGTERM mid-run -> clean drain, exit 0
+#   2. restart over the checkpoint -> byte-checked "0/0/0" lease
+#      reconciliation (a clean drain released everything)
+#   3. load again, kill -9, restart -> the reconciliation reports the
+#      leases that did NOT survive the crash (lost > 0)
+#   4. hot reload: valid POST /v1/config applied, invalid rejected with
+#      the old config kept, SIGHUP re-reads -config the same way
+#   5. 10x overload against a tiny queue -> 429 shedding visible in the
+#      generator accounting AND in /metrics
+#   6. drain that cannot meet its deadline -> hard exit, code 3
+#   7. mmogaudit digests the daemon's event log + the load report
+#
+# Latency numbers are reported, never gated — wall-clock on a loaded
+# single-CPU box is noise (see scripts/benchgate for the same stance).
+set -eu
+cd "$(dirname "$0")/.."
+
+d=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$d"
+}
+trap cleanup EXIT
+
+go build -race -o "$d/mmogd" ./cmd/mmogd
+go build -o "$d/mmogload" ./cmd/mmogload
+go build -o "$d/mmogaudit" ./cmd/mmogaudit
+go build -o "$d/scrape" ./scripts/scrape
+
+if command -v curl > /dev/null 2>&1; then
+    fetch() { curl -sf "$1"; }
+    post() { curl -sf -X POST -H 'Content-Type: application/json' --data-binary "@$1" "$2"; }
+else
+    fetch() { "$d/scrape" "$1"; }
+    post() { "$d/scrape" -post "$1" "$2"; }
+fi
+
+# start_daemon <errfile> [extra args...]: launch mmogd on an ephemeral
+# port, wait for the serving line, and set $pid and $addr.
+start_daemon() {
+    errfile=$1
+    shift
+    "$d/mmogd" -addr 127.0.0.1:0 "$@" 2> "$errfile" &
+    pid=$!
+    i=0
+    while ! grep -q '^daemon: serving http on ' "$errfile" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "daemon-smoke: daemon never came up" >&2
+            cat "$errfile" >&2
+            exit 1
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "daemon-smoke: daemon died at startup" >&2
+            cat "$errfile" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    addr=$(sed -n 's/^daemon: serving http on //p' "$errfile" | head -n 1)
+}
+
+load="$d/mmogload -game live -grid 6 -entities 400 -interval 10ms"
+
+# --- Phase 1: serve, load at 1x, SIGTERM -> clean drain, exit 0 -------
+start_daemon "$d/p1.err" -games live -tick-seconds 1 \
+    -checkpoint-dir "$d/ckpt" -checkpoint-every 5
+$load -addr "$addr" -n 40 -rate 1 -o "$d/load1.json" > "$d/load1.out"
+grep -q 'accepted=40 shed=0 rejected=0' "$d/load1.out"
+fetch "http://$addr/readyz" | grep -q 'ready'
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "daemon-smoke: clean drain exited non-zero" >&2
+    cat "$d/p1.err" >&2
+    exit 1
+fi
+pid=""
+grep -q '^daemon: drain complete' "$d/p1.err"
+
+# --- Phase 2: restart -> clean 0/0/0 reconciliation -------------------
+start_daemon "$d/p2.err" -games live -tick-seconds 1 \
+    -checkpoint-dir "$d/ckpt" -checkpoint-every 5
+grep -Eq 'restored checkpoint from tick [0-9]+: 0 leases adopted, 0 lost, 0 orphans released' "$d/p2.err"
+
+# --- Phase 3: load, kill -9, restart -> crash reconciliation ----------
+$load -addr "$addr" -n 20 -rate 1 > /dev/null
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+start_daemon "$d/p3.err" -games live -tick-seconds 1 \
+    -checkpoint-dir "$d/ckpt" -checkpoint-every 5
+# The dead process's leases cannot be adopted by a fresh ecosystem: the
+# restart must report them lost, not pretend they survived.
+grep -Eq 'restored checkpoint from tick [0-9]+: 0 leases adopted, [1-9][0-9]* lost, [0-9]+ orphans released' "$d/p3.err"
+kill -TERM "$pid"
+wait "$pid" || true
+pid=""
+
+# --- Phase 4: hot reload over HTTP and SIGHUP -------------------------
+printf '{}' > "$d/hot.json"
+start_daemon "$d/p4.err" -games live -tick-seconds 1 -queue 4 \
+    -config "$d/hot.json" -obs-events "$d/events.jsonl" -drain-timeout 30s
+printf '{"observe_delay_ms": 40}' > "$d/body.json"
+post "$d/body.json" "http://$addr/v1/config" | grep -q '"applied": *true'
+fetch "http://$addr/v1/config" | grep -q '"observe_delay_ms": *40'
+# An invalid candidate is refused (non-2xx) and the old config stays.
+printf '{"fault_reject_prob": 2}' > "$d/bad.json"
+if post "$d/bad.json" "http://$addr/v1/config" > /dev/null 2>&1; then
+    echo "daemon-smoke: invalid config was accepted" >&2
+    exit 1
+fi
+fetch "http://$addr/v1/config" | grep -q '"fault_reject_prob": *0'
+printf '{"fault_reject_prob": 2}' > "$d/hot.json"
+kill -HUP "$pid"
+i=0
+until grep -q '^daemon: reload rejected, keeping active config' "$d/p4.err"; do
+    i=$((i + 1)); [ "$i" -gt 100 ] && { cat "$d/p4.err" >&2; exit 1; }
+    sleep 0.1
+done
+printf '{"observe_delay_ms": 40, "fault_dropout_prob": 0.05}' > "$d/hot.json"
+kill -HUP "$pid"
+i=0
+until grep -q '^daemon: reload applied' "$d/p4.err"; do
+    i=$((i + 1)); [ "$i" -gt 100 ] && { cat "$d/p4.err" >&2; exit 1; }
+    sleep 0.1
+done
+
+# --- Phase 5: 10x overload -> shed with 429s --------------------------
+# 10x pacing against a 4-deep queue draining one sample per 40ms: the
+# generator must see 429s, and the same count must land in /metrics.
+$load -addr "$addr" -n 60 -rate 10 -interval 20ms -o "$d/load10.json" > "$d/load10.out"
+grep -Eq 'shed=[1-9][0-9]*' "$d/load10.out"
+grep -Eq 'rtt_ms p50=[0-9.]+ p95=[0-9.]+ p99=[0-9.]+ max=[0-9.]+' "$d/load10.out"
+fetch "http://$addr/metrics" > "$d/metrics.txt"
+grep -Eq '^mmogdc_daemon_shed_total\{game="live"\} [1-9][0-9]*$' "$d/metrics.txt"
+grep -Eq '^mmogdc_daemon_ingest_total\{game="live"\} [1-9][0-9]*$' "$d/metrics.txt"
+shed_cli=$(sed -n 's/.* shed=\([0-9]*\) .*/\1/p' "$d/load10.out")
+grep -q "^mmogdc_daemon_shed_total{game=\"live\"} $shed_cli\$" "$d/metrics.txt"
+kill -TERM "$pid"
+wait "$pid" || { echo "daemon-smoke: phase-4 drain failed" >&2; exit 1; }
+pid=""
+grep -q '^daemon: drain complete' "$d/p4.err"
+
+# --- Phase 6: a drain that cannot meet its deadline hard-exits 3 ------
+start_daemon "$d/p6.err" -games live -tick-seconds 1 \
+    -observe-delay 500ms -drain-timeout 200ms
+$load -addr "$addr" -n 6 -rate 10 > /dev/null
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" -ne 3 ]; then
+    echo "daemon-smoke: blown drain deadline exited $rc, want 3" >&2
+    cat "$d/p6.err" >&2
+    exit 1
+fi
+grep -q '^daemon: drain deadline exceeded' "$d/p6.err"
+
+# --- Phase 7: the audit toolchain digests the run ---------------------
+"$d/mmogaudit" -events "$d/events.jsonl" -load "$d/load10.json" > "$d/audit.md"
+grep -q '^# mmogdc provisioning audit' "$d/audit.md"
+grep -q 'Daemon load' "$d/audit.md"
+grep -q 'observe-loop RTT ms' "$d/audit.md"
+grep -q 'Consistency checks' "$d/audit.md"
+
+echo "daemon-smoke: ok"

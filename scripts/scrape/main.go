@@ -1,7 +1,8 @@
-// Command scrape is a minimal HTTP GET-to-stdout used by the shell
+// Command scrape is a minimal HTTP client-to-stdout used by the shell
 // smokes when curl is not installed: it fetches one URL and writes the
-// body to stdout, failing on any non-2xx status. No flags, no
-// dependencies — `go run ./scripts/scrape <url>`.
+// body to stdout, failing on any non-2xx status. With -post <file> it
+// POSTs the file's bytes as application/json instead ("-" reads the
+// body from stdin). No dependencies — `go run ./scripts/scrape <url>`.
 package main
 
 import (
@@ -13,19 +14,46 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: scrape <url>")
+	args := os.Args[1:]
+	var bodyPath string
+	if len(args) == 3 && args[0] == "-post" {
+		bodyPath = args[1]
+		args = args[2:]
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: scrape [-post <file|->] <url>")
 		os.Exit(2)
 	}
+	url := args[0]
+
 	client := &http.Client{Timeout: 30 * time.Second}
-	resp, err := client.Get(os.Args[1])
+	var resp *http.Response
+	var err error
+	if bodyPath != "" {
+		body := io.Reader(os.Stdin)
+		if bodyPath != "-" {
+			f, ferr := os.Open(bodyPath)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, ferr)
+				os.Exit(1)
+			}
+			defer f.Close()
+			body = f
+		}
+		resp, err = client.Post(url, "application/json", body)
+	} else {
+		resp, err = client.Get(url)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		fmt.Fprintf(os.Stderr, "scrape: %s -> %s\n", os.Args[1], resp.Status)
+		// Surface the typed error body before failing — the smokes
+		// grep stderr to assert rejections.
+		io.Copy(os.Stderr, resp.Body)
+		fmt.Fprintf(os.Stderr, "scrape: %s -> %s\n", url, resp.Status)
 		os.Exit(1)
 	}
 	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
