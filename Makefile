@@ -34,14 +34,11 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench Checkpoint -benchtime 1x ./internal/operator/
 	$(GO) test -run '^$$' -bench ObsOverhead -benchtime 1x .
 
-# Fault-injection smoke: a short chaos run under the race detector must
-# finish and report its resilience accounting (stochastic injector,
-# failover, and backoff paths on top of the parallel engine).
+# Fault-injection smoke: stochastic injector plus a correlated region
+# blackout under the race detector, gated by mmogaudit — every breach
+# episode must carry a root cause and all consistency checks must pass.
 chaos-smoke:
-	$(GO) run -race ./cmd/mmogsim -days 1 -predictor lastvalue \
-		-mtbf 150 -mttr 25 -fault-seed 7 \
-		-fault-reject 0.05 -fault-dropout 0.02 -fault-degraded 0.5 \
-		| grep 'outages:' > /dev/null
+	sh scripts/chaos_smoke.sh
 
 # Crash-recovery smoke under the race detector: run to a deterministic
 # "crash" (-stop-after-tick) with checkpointing on, resume over the

@@ -27,6 +27,8 @@ func main() {
 		tracePath   = flag.String("trace", "", "Chrome trace_event JSON (from mmogsim -trace-out)")
 		loadPath    = flag.String("load", "", "load-generator report JSON (from mmogload -o)")
 		outPath     = flag.String("o", "", "write the report here instead of stdout")
+		failUnclass = flag.Bool("fail-on-unclassified", false,
+			"exit 1 when any SLA-breach episode has no attributable root cause")
 	)
 	flag.Parse()
 
@@ -107,6 +109,11 @@ func main() {
 				c.Name, c.Want, c.Got)
 			os.Exit(1)
 		}
+	}
+	if *failUnclass && report.Unclassified > 0 {
+		fmt.Fprintf(os.Stderr, "mmogaudit: %d SLA-breach episode(s) unclassified — no signal in the stream explains them\n",
+			report.Unclassified)
+		os.Exit(1)
 	}
 }
 

@@ -41,6 +41,7 @@ func main() {
 		entities = flag.Int("entities", 1800, "peak emulated entity population")
 		seed     = flag.Uint64("seed", 1, "emulator seed")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+		retries  = flag.Int("retries", 3, "max re-sends per sample after a transport error or 503 (0 disables)")
 		outPath  = flag.String("o", "", "write the JSON load report here (for mmogaudit -load)")
 	)
 	flag.Parse()
@@ -68,7 +69,7 @@ func main() {
 	url := "http://" + *addr + "/v1/observe"
 	pace := time.Duration(float64(*interval) / *rate)
 
-	var accepted, shed, rejected int
+	var accepted, shed, rejected, retried int
 	rtts := make([]float64, 0, *n)
 	values := make([]float64, *grid**grid)
 	body := &bytes.Buffer{}
@@ -87,22 +88,37 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mmogload:", err)
 			os.Exit(1)
 		}
-		t0 := time.Now()
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body.Bytes()))
-		rtts = append(rtts, float64(time.Since(t0))/float64(time.Millisecond))
-		if err != nil {
-			rejected++
-		} else {
+		// One attempt returns the status code, or 0 on a transport
+		// error. Transient failures — no response at all, or a 503
+		// (daemon draining, region circuit open) — are retried with a
+		// capped jittered backoff; a 429 is the backpressure signal the
+		// overload run exists to measure and is never retried. The RTT
+		// sample covers the whole resolution including retries: that is
+		// the observe-loop latency a client actually experiences.
+		post := func() int {
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body.Bytes()))
+			if err != nil {
+				return 0
+			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			switch resp.StatusCode {
-			case http.StatusAccepted:
-				accepted++
-			case http.StatusTooManyRequests:
-				shed++
-			default:
-				rejected++
-			}
+			return resp.StatusCode
+		}
+		t0 := time.Now()
+		status := post()
+		for r := 0; r < *retries && (status == 0 || status == http.StatusServiceUnavailable); r++ {
+			time.Sleep(backoff(r, i))
+			retried++
+			status = post()
+		}
+		rtts = append(rtts, float64(time.Since(t0))/float64(time.Millisecond))
+		switch status {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			rejected++
 		}
 		// Fixed-schedule pacing (not sleep-after-response): a slow
 		// daemon does not slow the generator down, which is what makes
@@ -122,6 +138,7 @@ func main() {
 		Rejected:        rejected,
 		DurationSeconds: elapsed.Seconds(),
 		AttemptedHz:     float64(*n) / elapsed.Seconds(),
+		Retries:         retried,
 		RTT: audit.LoadQuantiles{
 			P50MS: stats.Quantile(rtts, 0.50),
 			P95MS: stats.Quantile(rtts, 0.95),
@@ -132,8 +149,8 @@ func main() {
 
 	fmt.Printf("mmogload: %d samples in %.2fs (%.1f/s attempted, pace %s)\n",
 		report.Samples, report.DurationSeconds, report.AttemptedHz, pace)
-	fmt.Printf("mmogload: sent=%d accepted=%d shed=%d rejected=%d\n",
-		report.Samples, report.Accepted, report.Shed, report.Rejected)
+	fmt.Printf("mmogload: sent=%d accepted=%d shed=%d rejected=%d retries=%d\n",
+		report.Samples, report.Accepted, report.Shed, report.Rejected, report.Retries)
 	fmt.Printf("mmogload: rtt_ms p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
 		report.RTT.P50MS, report.RTT.P95MS, report.RTT.P99MS, report.RTT.MaxMS)
 
@@ -151,4 +168,18 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// backoff returns the delay before retry r of sample i: exponential
+// from 5ms, capped at 80ms, with deterministic +/-25% jitter drawn
+// from the sample/attempt pair so concurrent generators do not hammer
+// a recovering daemon in lockstep.
+func backoff(r, i int) time.Duration {
+	d := 5 * time.Millisecond << uint(r)
+	if d > 80*time.Millisecond {
+		d = 80 * time.Millisecond
+	}
+	h := uint64(i)*0x9E3779B97F4A7C15 + uint64(r+1)*0xBF58476D1CE4E5B9
+	jitter := time.Duration(h%uint64(d/2)) - d/4
+	return d + jitter
 }

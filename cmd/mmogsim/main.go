@@ -63,6 +63,15 @@ func main() {
 		reject    = flag.Float64("fault-reject", 0, "probability a center rejects one grant attempt")
 		partial   = flag.Float64("fault-partial", 0, "probability a grant is trimmed to a fraction")
 		dropout   = flag.Float64("fault-dropout", 0, "probability one zone's monitoring sample is lost at one tick")
+
+		regionMTBF = flag.Float64("region-mtbf", 0, "mean ticks between whole-region blackouts (0 disables correlated region faults)")
+		regionMTTR = flag.Float64("region-mttr", 0, "mean region blackout duration in ticks (0 = injector default)")
+		aftershock = flag.Float64("aftershock", 0, "probability each center of a recovering region suffers a follow-on outage")
+		blackouts  = flag.String("blackout", "", "scheduled region blackouts, comma-separated region:startTick:durationTicks (e.g. eu:480:40)")
+
+		failoverBudget  = flag.Int("failover-budget", 0, "max failover re-acquisitions per tick; the excess defers with jittered backoff (0 = unlimited)")
+		brownout        = flag.Bool("brownout", false, "shed lowest-priority leases instead of thrashing when surviving capacity cannot cover demand")
+		brownoutReserve = flag.Float64("brownout-reserve", 0, "fraction of surviving capacity held back as headroom during brownout")
 	)
 	flag.Parse()
 
@@ -110,6 +119,17 @@ func main() {
 
 		PartialGrantProb: *partial,
 		DropoutProb:      *dropout,
+
+		RegionMTBFTicks: *regionMTBF,
+		RegionMTTRTicks: *regionMTTR,
+		AftershockProb:  *aftershock,
+	}
+	if *blackouts != "" {
+		windows, err := parseBlackouts(*blackouts)
+		if err != nil {
+			fatal(err)
+		}
+		fcfg.ScheduledBlackouts = windows
 	}
 	if fcfg.Seed == 0 {
 		fcfg.Seed = *seed
@@ -118,10 +138,13 @@ func main() {
 
 	cfg := core.Config{
 		Static: *static, SafetyMargin: *margin, Workers: *workers,
-		CheckpointDir:        *ckptDir,
-		CheckpointEveryTicks: *ckptEvery,
-		StopAfterTick:        *stopAfter,
-		Obs:                  telemetry,
+		CheckpointDir:         *ckptDir,
+		CheckpointEveryTicks:  *ckptEvery,
+		StopAfterTick:         *stopAfter,
+		Obs:                   telemetry,
+		FailoverBudgetPerTick: *failoverBudget,
+		Brownout:              *brownout,
+		BrownoutReserveFrac:   *brownoutReserve,
 	}
 	if fcfg.Enabled() {
 		cfg.Faults = &fcfg
@@ -250,6 +273,19 @@ func printResilience(r *core.Resilience) {
 	fmt.Printf("  injected: %d rejections, %d partial grants, %d dropped samples\n",
 		r.Rejections, r.PartialGrants, r.DroppedSamples)
 	fmt.Printf("  capacity lost: %.1f CPU-ticks\n", r.CapacityLostCPUTicks)
+	// The failure-domain lines appear only when that machinery fired, so
+	// per-center fault runs keep their historical output byte-for-byte.
+	if r.RegionBlackouts > 0 || r.FailoversDeferred > 0 {
+		fmt.Printf("  region blackouts: %d, failovers deferred by storm control: %d\n",
+			r.RegionBlackouts, r.FailoversDeferred)
+	}
+	if r.BrownoutTicks > 0 {
+		fmt.Printf("  brownout: %d ticks, %d leases shed, %.1f player-ticks unserved\n",
+			r.BrownoutTicks, r.ShedLeases, r.ShedPlayerTicks)
+	}
+	if r.TimeToFullRecoveryTicks > 0 && (r.RegionBlackouts > 0 || r.BrownoutTicks > 0) {
+		fmt.Printf("  time to full recovery: %d ticks\n", r.TimeToFullRecoveryTicks)
+	}
 	if len(r.Availability) > 0 {
 		names := make([]string, 0, len(r.Availability))
 		for name := range r.Availability {
@@ -261,6 +297,37 @@ func printResilience(r *core.Resilience) {
 			fmt.Printf("    %-24s %7.3f%%\n", name, r.Availability[name]*100)
 		}
 	}
+}
+
+// parseBlackouts parses the -blackout flag: comma-separated
+// region:startTick:durationTicks windows.
+func parseBlackouts(spec string) ([]faults.RegionBlackout, error) {
+	var out []faults.RegionBlackout
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("blackout %q: want region:startTick:durationTicks", item)
+		}
+		start, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("blackout %q: bad start tick: %v", item, err)
+		}
+		dur, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return nil, fmt.Errorf("blackout %q: bad duration: %v", item, err)
+		}
+		out = append(out, faults.RegionBlackout{
+			Region: strings.TrimSpace(parts[0]), Start: start, Duration: dur,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("blackout: no windows in %q", spec)
+	}
+	return out, nil
 }
 
 // loadFailures parses a scheduled-outage file: one outage per line as

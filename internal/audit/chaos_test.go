@@ -1,0 +1,179 @@
+package audit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mmogdc/internal/core"
+	"mmogdc/internal/obs"
+)
+
+// chaosStream is a hand-built event stream with one breach episode per
+// classifier cause, in precedence order.
+func chaosStream() []obs.Event {
+	return []obs.Event{
+		// Region blackout window 100-140 with a breach inside it; the
+		// blackout also downs centers (outage events), but the coarser
+		// domain cause must win.
+		{Tick: 100, Kind: obs.EventRegionBlackout, Subject: "eu", Value: 2},
+		{Tick: 100, Kind: obs.EventOutage, Subject: "london"},
+		{Tick: 100, Kind: obs.EventOutage, Subject: "amsterdam"},
+		{Tick: 102, Kind: obs.EventBreach, Subject: "run", Value: -50},
+		{Tick: 103, Kind: obs.EventBreach, Subject: "run", Value: -60},
+		{Tick: 140, Kind: obs.EventRegionRecover, Subject: "eu", Value: 2},
+		{Tick: 140, Kind: obs.EventRecover, Subject: "london"},
+		{Tick: 140, Kind: obs.EventRecover, Subject: "amsterdam"},
+		// Brownout window 150-160 with shedding and a breach.
+		{Tick: 150, Kind: obs.EventBrownoutStart, Subject: "run", Value: 1.5},
+		{Tick: 150, Kind: obs.EventShed, Subject: "zone 3", Value: 900},
+		{Tick: 151, Kind: obs.EventShed, Subject: "zone 2", Value: 400},
+		{Tick: 152, Kind: obs.EventBreach, Subject: "run", Value: -20},
+		{Tick: 160, Kind: obs.EventBrownoutEnd, Subject: "run"},
+		// Plain single-center outage 200-210.
+		{Tick: 200, Kind: obs.EventOutage, Subject: "nyc"},
+		{Tick: 205, Kind: obs.EventBreach, Subject: "run", Value: -10},
+		{Tick: 210, Kind: obs.EventRecover, Subject: "nyc"},
+		// Rejection backoff.
+		{Tick: 250, Kind: obs.EventRejection, Subject: "run", Value: 2},
+		{Tick: 251, Kind: obs.EventBreach, Subject: "run", Value: -3},
+		// Storm control deferral.
+		{Tick: 300, Kind: obs.EventDeferred, Subject: "run", Value: 302},
+		{Tick: 302, Kind: obs.EventBreach, Subject: "run", Value: -4},
+		// Forecast miss: the engine was granting, demand outran it.
+		{Tick: 350, Kind: obs.EventGrant, Subject: "run", Value: 2.5},
+		{Tick: 352, Kind: obs.EventBreach, Subject: "run", Value: -2},
+		// Nothing anywhere near this one.
+		{Tick: 400, Kind: obs.EventBreach, Subject: "run", Value: -5},
+	}
+}
+
+func TestClassifierFailureDomainCauses(t *testing.T) {
+	rp := Analyze(chaosStream(), nil, nil)
+	wantCauses := []string{
+		"region blackout",
+		"brownout shedding",
+		"outage",
+		"rejection backoff",
+		"failover storm control",
+		"prediction miss",
+		"unclassified",
+	}
+	if len(rp.Episodes) != len(wantCauses) {
+		t.Fatalf("episodes = %d, want %d: %+v", len(rp.Episodes), len(wantCauses), rp.Episodes)
+	}
+	for i, want := range wantCauses {
+		if got := rp.Episodes[i].Cause; got != want {
+			t.Errorf("episode %d (ticks %d-%d) cause = %q, want %q",
+				i+1, rp.Episodes[i].StartTick, rp.Episodes[i].EndTick, got, want)
+		}
+	}
+	if rp.Unclassified != 1 {
+		t.Fatalf("unclassified = %d, want 1", rp.Unclassified)
+	}
+	if len(rp.Blackouts) != 1 || rp.Blackouts[0] != (DomainWindow{Subject: "eu", StartTick: 100, EndTick: 140}) {
+		t.Fatalf("blackout windows = %+v", rp.Blackouts)
+	}
+	if len(rp.Brownouts) != 1 || rp.Brownouts[0] != (DomainWindow{Subject: "run", StartTick: 150, EndTick: 160}) {
+		t.Fatalf("brownout windows = %+v", rp.Brownouts)
+	}
+	if rp.ShedEvents != 2 || rp.ShedPlayerTicks != 1300 {
+		t.Fatalf("sheds = %d / %.1f player-ticks", rp.ShedEvents, rp.ShedPlayerTicks)
+	}
+	if rp.DeferredFailovers != 1 {
+		t.Fatalf("deferred = %d", rp.DeferredFailovers)
+	}
+
+	var buf bytes.Buffer
+	if err := rp.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## Failure domains",
+		"| eu | 100-140 |",
+		"| run | 150-160 |",
+		"brownout shedding: 2 shed events, 1300.0 player-ticks deliberately unserved",
+		"failover storm control: 1 failovers deferred",
+		"WARNING: 1 episode(s) unclassified",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}
+
+// TestClassifierDomainConsistencyChecks: the gated cross-checks fire
+// only when the machinery fired, and flag count drift.
+func TestClassifierDomainConsistencyChecks(t *testing.T) {
+	md := &MetricsDoc{
+		Resilience: &core.Resilience{RegionBlackouts: 1, FailoversDeferred: 1},
+		Recorder:   RecorderStats{Total: uint64(len(chaosStream()))},
+	}
+	rp := Analyze(chaosStream(), md, nil)
+	find := func(name string) *Check {
+		for i := range rp.Checks {
+			if rp.Checks[i].Name == name {
+				return &rp.Checks[i]
+			}
+		}
+		return nil
+	}
+	for _, name := range []string{
+		"region blackout events match Resilience.RegionBlackouts",
+		"deferral events match Resilience.FailoversDeferred",
+	} {
+		c := find(name)
+		if c == nil {
+			t.Fatalf("check %q missing", name)
+		}
+		if !c.OK {
+			t.Fatalf("check %q failed: want %s, got %s", name, c.Want, c.Got)
+		}
+	}
+
+	// Drift is flagged.
+	md.Resilience.RegionBlackouts = 3
+	rp = Analyze(chaosStream(), md, nil)
+	for i := range rp.Checks {
+		if rp.Checks[i].Name == "region blackout events match Resilience.RegionBlackouts" {
+			if rp.Checks[i].OK {
+				t.Fatal("count drift not flagged")
+			}
+			return
+		}
+	}
+	t.Fatal("drifted check missing")
+}
+
+// TestClassifierQuietStreamUnchanged: a stream without failure-domain
+// events must produce no domain windows, no gated checks, and no
+// Failure domains section — the property the golden report rests on.
+func TestClassifierQuietStreamUnchanged(t *testing.T) {
+	events := []obs.Event{
+		{Tick: 10, Kind: obs.EventOutage, Subject: "nyc"},
+		{Tick: 12, Kind: obs.EventBreach, Subject: "run", Value: -5},
+		{Tick: 20, Kind: obs.EventRecover, Subject: "nyc"},
+	}
+	md := &MetricsDoc{
+		Resilience: &core.Resilience{},
+		Recorder:   RecorderStats{Total: 3},
+	}
+	rp := Analyze(events, md, nil)
+	if len(rp.Blackouts) != 0 || len(rp.Brownouts) != 0 || rp.Unclassified != 0 {
+		t.Fatalf("quiet stream grew domain state: %+v", rp)
+	}
+	for _, c := range rp.Checks {
+		if strings.Contains(c.Name, "Resilience.RegionBlackouts") ||
+			strings.Contains(c.Name, "Resilience.FailoversDeferred") {
+			t.Fatalf("gated check %q fired on a quiet stream", c.Name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rp.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Failure domains") {
+		t.Fatal("Failure domains section rendered for a quiet stream")
+	}
+}

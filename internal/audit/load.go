@@ -29,6 +29,11 @@ type LoadReport struct {
 	DurationSeconds float64       `json:"duration_seconds"`
 	AttemptedHz     float64       `json:"attempted_hz"`
 	RTT             LoadQuantiles `json:"rtt"`
+	// Retries counts re-sent requests after transient failures
+	// (transport errors and 503s). A retried sample still resolves to
+	// exactly one of accepted/shed/rejected, so the accounting check
+	// stays exact.
+	Retries int `json:"retries,omitempty"`
 	// DrainSeconds is the daemon's measured drain time when the
 	// generator captured it (0 otherwise).
 	DrainSeconds float64 `json:"drain_seconds,omitempty"`

@@ -25,8 +25,24 @@ type Episode struct {
 	// WorstUnderPct is the deepest under-allocation Υ inside the
 	// episode (<= 0).
 	WorstUnderPct float64
-	// Cause is "outage", "rejection backoff", or "prediction miss".
+	// Cause is the classifier's root-cause attribution, in order of
+	// precedence: "region blackout", "brownout shedding", "outage",
+	// "rejection backoff", "failover storm control", "prediction miss"
+	// (the provisioner was granting but its forecast undershot), or
+	// "unclassified" (no signal in the stream explains the breach).
 	Cause string
+}
+
+// DomainWindow is one failure-domain impairment window reconstructed
+// from the event stream: a whole-region blackout or a brownout
+// engagement. EndTick is math.MaxInt when the window never closed
+// within the run.
+type DomainWindow struct {
+	// Subject is the region (blackouts) or the engine/game that
+	// engaged brownout mode.
+	Subject   string
+	StartTick int
+	EndTick   int
 }
 
 // KindCount is one event kind's census entry.
@@ -98,6 +114,19 @@ type Report struct {
 	BreachTicks int
 	Centers     []CenterAttribution
 
+	// Failure-domain activity from the event stream. All empty/zero on
+	// runs without correlated faults, brownout, or storm control — the
+	// Render section and the consistency checks they feed are gated on
+	// that, so fault-free reports are unchanged.
+	Blackouts         []DomainWindow
+	Brownouts         []DomainWindow
+	ShedEvents        int
+	ShedPlayerTicks   float64
+	DeferredFailovers int
+	// Unclassified counts episodes whose root cause no signal in the
+	// stream explains (cmd/mmogaudit can be told to fail on them).
+	Unclassified int
+
 	// From the metrics document (nil-safe: zero when absent).
 	HasMetrics bool
 	Ticks      int
@@ -135,6 +164,24 @@ func Analyze(events []obs.Event, md *MetricsDoc, tr *Trace) *Report {
 				fmt.Sprint(md.Events), fmt.Sprint(rp.BreachTicks)),
 			check("event stream length matches Recorder.Total",
 				fmt.Sprint(md.Recorder.Total), fmt.Sprint(len(events))))
+		// Failure-domain cross-checks, gated on the machinery having
+		// fired at all so fault-free reports are byte-identical.
+		blackoutEvents := rp.kindCount(obs.EventRegionBlackout)
+		rb, deferredRes := 0, 0
+		if md.Resilience != nil {
+			rb = md.Resilience.RegionBlackouts
+			deferredRes = md.Resilience.FailoversDeferred
+		}
+		if blackoutEvents > 0 || rb > 0 {
+			rp.Checks = append(rp.Checks,
+				check("region blackout events match Resilience.RegionBlackouts",
+					fmt.Sprint(rb), fmt.Sprint(blackoutEvents)))
+		}
+		if rp.DeferredFailovers > 0 || deferredRes > 0 {
+			rp.Checks = append(rp.Checks,
+				check("deferral events match Resilience.FailoversDeferred",
+					fmt.Sprint(deferredRes), fmt.Sprint(rp.DeferredFailovers)))
+		}
 	}
 	if tr != nil {
 		rp.HasTrace = true
@@ -145,6 +192,16 @@ func Analyze(events []obs.Event, md *MetricsDoc, tr *Trace) *Report {
 
 func check(name, want, got string) Check {
 	return Check{Name: name, Want: want, Got: got, OK: want == got}
+}
+
+// kindCount returns one kind's census total (0 when absent).
+func (rp *Report) kindCount(kind string) int {
+	for _, k := range rp.KindTotals {
+		if k.Kind == kind {
+			return k.Count
+		}
+	}
+	return 0
 }
 
 // censusFrom counts events per kind, sorted by kind.
@@ -177,6 +234,16 @@ func (rp *Report) episodesFrom(events []obs.Event) {
 	var windows []window
 	// Ticks with injected grant trouble (rejections and their retries).
 	rejects := map[int]bool{}
+	// Failure-domain signals: region blackout and brownout windows
+	// (refcounted by subject like the outage windows), brownout shed
+	// and storm-control deferral ticks, and grant ticks (evidence the
+	// provisioner was actively tracking — what separates a prediction
+	// miss from an unclassified breach).
+	blackOpen := map[string]int{}
+	brownOpen := map[string]int{}
+	sheds := map[int]bool{}
+	deferred := map[int]bool{}
+	grants := map[int]bool{}
 	for _, e := range events {
 		switch e.Kind {
 		case obs.EventBreach:
@@ -200,6 +267,35 @@ func (rp *Report) episodesFrom(events []obs.Event) {
 			}
 		case obs.EventRejection, obs.EventRetry:
 			rejects[e.Tick] = true
+		case obs.EventRegionBlackout:
+			if _, live := blackOpen[e.Subject]; !live {
+				blackOpen[e.Subject] = e.Tick
+			}
+		case obs.EventRegionRecover:
+			if start, live := blackOpen[e.Subject]; live {
+				delete(blackOpen, e.Subject)
+				rp.Blackouts = append(rp.Blackouts,
+					DomainWindow{Subject: e.Subject, StartTick: start, EndTick: e.Tick})
+			}
+		case obs.EventBrownoutStart:
+			if _, live := brownOpen[e.Subject]; !live {
+				brownOpen[e.Subject] = e.Tick
+			}
+		case obs.EventBrownoutEnd:
+			if start, live := brownOpen[e.Subject]; live {
+				delete(brownOpen, e.Subject)
+				rp.Brownouts = append(rp.Brownouts,
+					DomainWindow{Subject: e.Subject, StartTick: start, EndTick: e.Tick})
+			}
+		case obs.EventShed:
+			rp.ShedEvents++
+			rp.ShedPlayerTicks += e.Value
+			sheds[e.Tick] = true
+		case obs.EventDeferred:
+			rp.DeferredFailovers++
+			deferred[e.Tick] = true
+		case obs.EventGrant:
+			grants[e.Tick] = true
 		}
 	}
 	for center, d := range depth {
@@ -207,6 +303,16 @@ func (rp *Report) episodesFrom(events []obs.Event) {
 			windows = append(windows, window{start: open[center], end: math.MaxInt})
 		}
 	}
+	for subject, start := range blackOpen { // region never recovered
+		rp.Blackouts = append(rp.Blackouts,
+			DomainWindow{Subject: subject, StartTick: start, EndTick: math.MaxInt})
+	}
+	for subject, start := range brownOpen { // brownout never lifted
+		rp.Brownouts = append(rp.Brownouts,
+			DomainWindow{Subject: subject, StartTick: start, EndTick: math.MaxInt})
+	}
+	sortWindows(rp.Blackouts)
+	sortWindows(rp.Brownouts)
 	sort.Ints(ticks)
 
 	overlapsOutage := func(s, e int) bool {
@@ -217,9 +323,17 @@ func (rp *Report) episodesFrom(events []obs.Event) {
 		}
 		return false
 	}
-	nearReject := func(s, e int) bool {
+	overlapsDomain := func(ws []DomainWindow, s, e int) bool {
+		for _, w := range ws {
+			if w.StartTick <= e && s-causeLookbackTicks <= w.EndTick {
+				return true
+			}
+		}
+		return false
+	}
+	near := func(m map[int]bool, s, e int) bool {
 		for t := s - causeLookbackTicks; t <= e; t++ {
-			if rejects[t] {
+			if m[t] {
 				return true
 			}
 		}
@@ -227,12 +341,20 @@ func (rp *Report) episodesFrom(events []obs.Event) {
 	}
 	classify := func(s, e int) string {
 		switch {
+		case overlapsDomain(rp.Blackouts, s, e):
+			return "region blackout"
+		case overlapsDomain(rp.Brownouts, s, e) || near(sheds, s, e):
+			return "brownout shedding"
 		case overlapsOutage(s, e):
 			return "outage"
-		case nearReject(s, e):
+		case near(rejects, s, e):
 			return "rejection backoff"
-		default:
+		case near(deferred, s, e):
+			return "failover storm control"
+		case near(grants, s, e):
 			return "prediction miss"
+		default:
+			return "unclassified"
 		}
 	}
 
@@ -249,9 +371,22 @@ func (rp *Report) episodesFrom(events []obs.Event) {
 			}
 		}
 		ep.Cause = classify(ep.StartTick, ep.EndTick)
+		if ep.Cause == "unclassified" {
+			rp.Unclassified++
+		}
 		rp.Episodes = append(rp.Episodes, ep)
 		i = j + 1
 	}
+}
+
+// sortWindows orders domain windows for a stable report (map-fed).
+func sortWindows(ws []DomainWindow) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].StartTick != ws[j].StartTick {
+			return ws[i].StartTick < ws[j].StartTick
+		}
+		return ws[i].Subject < ws[j].Subject
+	})
 }
 
 // centersFrom attributes grants to data centers via the grant events'
@@ -382,6 +517,9 @@ func (rp *Report) Render(w io.Writer) error {
 			fmt.Fprintf(&b, "| %d | %s | %d | %.3f%% | %s |\n",
 				i+1, span, ep.Ticks, ep.WorstUnderPct, ep.Cause)
 		}
+		if rp.Unclassified > 0 {
+			fmt.Fprintf(&b, "\nWARNING: %d episode(s) unclassified — no signal in the stream explains them\n", rp.Unclassified)
+		}
 		b.WriteString("\n")
 	}
 
@@ -398,6 +536,38 @@ func (rp *Report) Render(w io.Writer) error {
 			fmt.Fprintf(&b, "| %s | %d | %.2f | %s |\n", c.Name, c.Grants, c.CPUUnits, avail)
 		}
 		b.WriteString("\n")
+	}
+
+	if len(rp.Blackouts) > 0 || len(rp.Brownouts) > 0 ||
+		rp.ShedEvents > 0 || rp.DeferredFailovers > 0 {
+		b.WriteString("## Failure domains\n\n")
+		writeWindows := func(label string, ws []DomainWindow) {
+			if len(ws) == 0 {
+				return
+			}
+			fmt.Fprintf(&b, "%s:\n\n| subject | ticks |\n|---|---|\n", label)
+			for _, w := range ws {
+				span := fmt.Sprintf("%d-%d", w.StartTick, w.EndTick)
+				if w.EndTick == math.MaxInt {
+					span = fmt.Sprintf("%d-(never recovered)", w.StartTick)
+				}
+				fmt.Fprintf(&b, "| %s | %s |\n", w.Subject, span)
+			}
+			b.WriteString("\n")
+		}
+		writeWindows("Region blackouts", rp.Blackouts)
+		writeWindows("Brownout windows", rp.Brownouts)
+		if rp.ShedEvents > 0 {
+			fmt.Fprintf(&b, "brownout shedding: %d shed events, %.1f player-ticks deliberately unserved\n",
+				rp.ShedEvents, rp.ShedPlayerTicks)
+		}
+		if rp.DeferredFailovers > 0 {
+			fmt.Fprintf(&b, "failover storm control: %d failovers deferred to jittered retry ticks\n",
+				rp.DeferredFailovers)
+		}
+		if rp.ShedEvents > 0 || rp.DeferredFailovers > 0 {
+			b.WriteString("\n")
+		}
 	}
 
 	if rp.HasTrace {
@@ -430,6 +600,9 @@ func (rp *Report) Render(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "accepted %d  shed %d (%.1f%%)  rejected %d\n",
 			ld.Accepted, ld.Shed, shedPct, ld.Rejected)
+		if ld.Retries > 0 {
+			fmt.Fprintf(&b, "transient retries: %d (capped jittered backoff)\n", ld.Retries)
+		}
 		fmt.Fprintf(&b, "observe-loop RTT ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
 			ld.RTT.P50MS, ld.RTT.P95MS, ld.RTT.P99MS, ld.RTT.MaxMS)
 		if ld.DrainSeconds > 0 {

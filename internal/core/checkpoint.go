@@ -22,7 +22,7 @@ import (
 
 // corePayloadKind stamps engine checkpoints so they can never be
 // confused with the online operator's (internal/operator) snapshots.
-const corePayloadKind = "mmogdc/core-run@1"
+const corePayloadKind = "mmogdc/core-run@2"
 
 // ErrStopped is returned by Run when Config.StopAfterTick halted the
 // simulation deliberately (a simulated crash for recovery drills). The
@@ -48,6 +48,11 @@ type engineState struct {
 	tracker   *outageTracker
 	plan      *faults.Plan
 	samples   int
+	// brownoutActive and capLossStart point at Run's live brownout /
+	// time-to-full-recovery state, so a resume re-enters an in-progress
+	// impairment episode instead of restarting its clock.
+	brownoutActive *bool
+	capLossStart   *int
 }
 
 // snapshot serializes the state after tick doneTick completed.
@@ -105,6 +110,12 @@ func (s *engineState) snapshot(doneTick int) ([]byte, error) {
 	e.Int(r.PartialGrants)
 	e.Int(r.DroppedSamples)
 	e.F64(r.CapacityLostCPUTicks)
+	e.Int(r.RegionBlackouts)
+	e.Int(r.FailoversDeferred)
+	e.Int(r.BrownoutTicks)
+	e.Int(r.ShedLeases)
+	e.F64(r.ShedPlayerTicks)
+	e.Int(r.TimeToFullRecoveryTicks)
 	for _, c := range s.cfg.Centers {
 		e.F64(r.Availability[c.Name])
 	}
@@ -160,6 +171,11 @@ func (s *engineState) snapshot(doneTick int) ([]byte, error) {
 		e.F64(z.lastObs)
 		e.Int(z.retries)
 		e.Int(z.retryAt)
+		e.Int(z.failoverAt)
+		e.Int(len(z.pendingLost))
+		for _, name := range z.pendingLost {
+			e.Str(name)
+		}
 		refs := make([]int, 0, 2*len(z.leases))
 		for _, l := range z.leases {
 			p, ok := leasePos[l]
@@ -186,6 +202,9 @@ func (s *engineState) snapshot(doneTick int) ([]byte, error) {
 			e.U64(w)
 		}
 	}
+
+	e.Bool(*s.brownoutActive)
+	e.Int(*s.capLossStart)
 
 	e.Bool(s.cfg.TrackCenters)
 	if s.cfg.TrackCenters {
@@ -285,6 +304,12 @@ func (s *engineState) restore(payload []byte) (int, error) {
 	r.PartialGrants = d.Int()
 	r.DroppedSamples = d.Int()
 	r.CapacityLostCPUTicks = d.F64()
+	r.RegionBlackouts = d.Int()
+	r.FailoversDeferred = d.Int()
+	r.BrownoutTicks = d.Int()
+	r.ShedLeases = d.Int()
+	r.ShedPlayerTicks = d.F64()
+	r.TimeToFullRecoveryTicks = d.Int()
 	for _, c := range s.cfg.Centers {
 		r.Availability[c.Name] = d.F64()
 	}
@@ -350,6 +375,18 @@ func (s *engineState) restore(payload []byte) (int, error) {
 		z.lastObs = d.F64()
 		z.retries = d.Int()
 		z.retryAt = d.Int()
+		z.failoverAt = d.Int()
+		nPending := d.Int()
+		if d.Err() != nil {
+			break
+		}
+		if nPending < 0 || nPending > len(s.cfg.Centers) {
+			return 0, fmt.Errorf("core: resume: zone %s parks %d failovers", z.tag, nPending)
+		}
+		z.pendingLost = z.pendingLost[:0]
+		for j := 0; j < nPending; j++ {
+			z.pendingLost = append(z.pendingLost, d.Str())
+		}
 		refs := d.Ints()
 		if d.Err() != nil {
 			break
@@ -386,6 +423,8 @@ func (s *engineState) restore(payload []byte) (int, error) {
 			grants[i] = d.U64()
 		}
 	}
+	*s.brownoutActive = d.Bool()
+	*s.capLossStart = d.Int()
 	trackCenters := d.Bool()
 	if d.Err() == nil {
 		if hasPlan != (s.plan != nil) {

@@ -51,11 +51,15 @@ func assertResultsEqual(t *testing.T, want, got *Result) {
 		a.ServiceRecovered != b.ServiceRecovered || a.Failovers != b.Failovers ||
 		a.FailoverLeases != b.FailoverLeases || a.Retries != b.Retries ||
 		a.Rejections != b.Rejections || a.PartialGrants != b.PartialGrants ||
-		a.DroppedSamples != b.DroppedSamples {
+		a.DroppedSamples != b.DroppedSamples ||
+		a.RegionBlackouts != b.RegionBlackouts || a.FailoversDeferred != b.FailoversDeferred ||
+		a.BrownoutTicks != b.BrownoutTicks || a.ShedLeases != b.ShedLeases ||
+		a.TimeToFullRecoveryTicks != b.TimeToFullRecoveryTicks {
 		t.Fatalf("resilience counters diverged:\n  %+v\n  %+v", a, b)
 	}
 	f64("MeanTimeToRecoverTicks", a.MeanTimeToRecoverTicks, b.MeanTimeToRecoverTicks)
 	f64("CapacityLostCPUTicks", a.CapacityLostCPUTicks, b.CapacityLostCPUTicks)
+	f64("ShedPlayerTicks", a.ShedPlayerTicks, b.ShedPlayerTicks)
 	for name, v := range a.Availability {
 		f64("Availability["+name+"]", v, b.Availability[name])
 	}

@@ -104,6 +104,28 @@ type Config struct {
 	// from Faults.Seed, so the same seed reproduces a bit-identical
 	// Result for any Workers setting.
 	Faults *faults.Config
+	// FailoverBudgetPerTick caps the failover re-acquisitions performed
+	// in any one tick (storm control): when a region blackout drops
+	// dozens of zones at once, only the first budget zones (in acquire
+	// order) fail over immediately; the rest are deferred by a
+	// deterministic jittered backoff of 1–4 ticks so the stampede on
+	// the surviving centers is spread out. 0 means unlimited — the
+	// legacy same-tick failover for every zone.
+	FailoverBudgetPerTick int
+	// Brownout enables graceful degradation when the surviving
+	// effective capacity cannot cover the demand: instead of letting
+	// every zone thrash over the shortage, the engine sheds the
+	// lowest-priority zones (the tail of the acquire order) — their
+	// leases are released and their acquisitions skipped — until the
+	// survivors fit the capacity budget. Result.Resilience accounts the
+	// brownout ticks and the player-load shed.
+	Brownout bool
+	// BrownoutReserveFrac is the fraction of each surviving region's
+	// effective capacity held back as reserved headroom while brownout
+	// mode decides what fits (0 = spend everything surviving). The
+	// reserve absorbs prediction error and aftershocks so the kept
+	// zones do not immediately breach again.
+	BrownoutReserveFrac float64
 	// Workers is the parallelism of the per-zone tick phase: 0 sizes
 	// the worker pool by GOMAXPROCS, 1 runs fully sequentially on the
 	// caller's goroutine. The result is bit-for-bit identical for any
@@ -231,6 +253,12 @@ type zoneState struct {
 	// tick retryAt.
 	retries int
 	retryAt int
+	// pendingLost and failoverAt implement storm control: when the
+	// per-tick failover budget is exhausted, the centers that dropped
+	// this zone are parked here and the failover re-acquisition runs at
+	// tick failoverAt (deterministically jittered).
+	pendingLost []string
+	failoverAt  int
 }
 
 // zonePartial is one zone's contribution to a tick, produced by the
@@ -302,6 +330,18 @@ func backOff(z *zoneState, t int) {
 		backoff = maxBackoffTicks
 	}
 	z.retryAt = t + backoff
+}
+
+// failoverJitter spreads deferred failovers over the next 1–4 ticks
+// with a stateless hash of (zone, tick) — deterministic for any worker
+// count (the acquire phase is sequential), different per zone and per
+// deferral so a blackout's victims do not re-stampede in lockstep.
+func failoverJitter(zone, t int) int {
+	h := uint64(zone)*0x9e3779b97f4a7c15 ^ uint64(t)*0xbf58476d1ce4e5b9 ^ 0x5707bac0ff
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h & 3) // 0..3 extra ticks beyond the minimum 1
 }
 
 // containsName reports whether the tiny name list holds name.
@@ -407,6 +447,12 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: failure names unknown center %q", f.Center)
 		}
 	}
+	if cfg.FailoverBudgetPerTick < 0 {
+		return nil, fmt.Errorf("core: FailoverBudgetPerTick must be >= 0, got %d", cfg.FailoverBudgetPerTick)
+	}
+	if cfg.BrownoutReserveFrac < 0 || cfg.BrownoutReserveFrac >= 1 {
+		return nil, fmt.Errorf("core: BrownoutReserveFrac must be in [0,1), got %v", cfg.BrownoutReserveFrac)
+	}
 	var plan *faults.Plan
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(); err != nil {
@@ -417,7 +463,16 @@ func Run(cfg Config) (*Result, error) {
 			for i, c := range cfg.Centers {
 				names[i] = c.Name
 			}
-			plan = faults.NewPlan(*cfg.Faults, names, samples)
+			fcfg := *cfg.Faults
+			if fcfg.CorrelatedEnabled() && fcfg.Regions == nil {
+				// Derive the failure domains from the centers' geography:
+				// centers sharing a continental region share a domain.
+				fcfg.Regions = make(map[string]string, len(cfg.Centers))
+				for _, c := range cfg.Centers {
+					fcfg.Regions[c.Name] = geo.RegionOf(c.Location)
+				}
+			}
+			plan = faults.NewPlan(fcfg, names, samples)
 		}
 	}
 
@@ -526,6 +581,18 @@ func Run(cfg Config) (*Result, error) {
 	// everywhere else.
 	lostCenters := make([][]string, len(zones))
 
+	// Brownout and recovery tracking. zoneShed marks the zones whose
+	// demand is deliberately unserved this tick; brownoutActive and
+	// capLossStart drive the transition events and the time-to-full-
+	// recovery accounting (both survive checkpoints).
+	var zoneShed []bool
+	if cfg.Brownout && !cfg.Static {
+		zoneShed = make([]bool, len(zones))
+	}
+	trackImpairment := !cfg.Static && (plan != nil || len(cfg.Failures) > 0 || cfg.Brownout)
+	brownoutActive := false
+	capLossStart := -1
+
 	// applyFailures fires the scheduled and injected outages and
 	// recoveries due at tick t: the capacity vanishes, the operator
 	// fails the lost leases over within the same tick. Tick-0 outages
@@ -553,6 +620,12 @@ func Run(cfg Config) (*Result, error) {
 				ro.recovery(t, f.Center, 1)
 			}
 		}
+		// Region-level events bracket the member centers' own: the
+		// blackout/recover markers fire before the per-center fail and
+		// recover records they explain.
+		for _, b := range plan.BlackoutRecoveriesAt(t) {
+			ro.regionRecover(t, b.Region)
+		}
 		for _, o := range plan.RecoveriesAt(t) {
 			if c := centersByName[o.Center]; o.Fraction >= 1 {
 				c.Recover()
@@ -566,6 +639,10 @@ func Run(cfg Config) (*Result, error) {
 				noteLost(centersByName[f.Center].Fail(), f.Center)
 				ro.outage(t, f.Center, 1)
 			}
+		}
+		for _, b := range plan.BlackoutsAt(t) {
+			resil.RegionBlackouts++
+			ro.regionBlackout(t, b.Region)
 		}
 		for _, o := range plan.FailuresAt(t) {
 			if c := centersByName[o.Center]; o.Fraction >= 1 {
@@ -588,6 +665,7 @@ func Run(cfg Config) (*Result, error) {
 		overSum: &overSum, underSum: &underSum, overTicks: &overTicks,
 		gameNames: gameNameList, gameUnder: gameUnderSum,
 		tracker: tracker, plan: plan, samples: samples,
+		brownoutActive: &brownoutActive, capLossStart: &capLossStart,
 	}
 	var ckptMgr *checkpoint.Manager
 	ckptEvery := cfg.CheckpointEveryTicks
@@ -902,11 +980,111 @@ func Run(cfg Config) (*Result, error) {
 		// the loss, so the same acquisition doubles as the failover
 		// re-acquisition — excluding the centers that dropped it.
 		ro.beginAcquireSpan(reduceDone)
+
+		// Brownout: when the surviving effective capacity — minus the
+		// reserve held back per failure domain for failover headroom —
+		// cannot cover this tick's demand, shed the lowest-priority
+		// zones outright instead of letting every zone thrash over the
+		// shortfall. The shed set is recomputed each brownout tick from
+		// the live acquire order, so zones rejoin as capacity returns.
+		if zoneShed != nil {
+			budget := 0.0
+			for _, c := range cfg.Centers {
+				budget += c.EffectiveCapacity()[datacenter.CPU]
+			}
+			budget *= 1 - cfg.BrownoutReserveFrac
+			demand := load[datacenter.CPU]
+			if demand > budget {
+				resil.BrownoutTicks++
+				ro.brownoutTick()
+				if !brownoutActive {
+					brownoutActive = true
+					ro.brownoutTransition(t, true, demand-budget)
+				}
+				kept := 0.0
+				for _, zi := range acquireOrder {
+					z := &zones[zi]
+					zl := partials[zi].load[datacenter.CPU]
+					// Always keep the highest-priority zone: shedding
+					// everything serves no one.
+					if kept+zl <= budget || kept == 0 {
+						kept += zl
+						zoneShed[zi] = false
+						continue
+					}
+					zoneShed[zi] = true
+					released := 0
+					for _, l := range z.leases {
+						if !l.Released() && l.Center.Release(l) {
+							released++
+						}
+					}
+					z.leases = z.leases[:0]
+					if released > 0 || z.lastObs > 0 {
+						resil.ShedLeases += released
+						resil.ShedPlayerTicks += z.lastObs
+						ro.shed(t, z.tag, z.lastObs, released)
+					}
+				}
+			} else if brownoutActive {
+				brownoutActive = false
+				ro.brownoutTransition(t, false, 0)
+				for i := range zoneShed {
+					zoneShed[i] = false
+				}
+			}
+		}
+
+		// Time-to-full-recovery: track the longest stretch from capacity
+		// impairment (a center down or degraded, or brownout engaged) to
+		// the tick full capacity resumed.
+		if trackImpairment {
+			impaired := brownoutActive
+			if !impaired {
+				for _, c := range cfg.Centers {
+					if c.AvailableFraction() < 1 {
+						impaired = true
+						break
+					}
+				}
+			}
+			switch {
+			case impaired && capLossStart < 0:
+				capLossStart = t
+			case !impaired && capLossStart >= 0:
+				if d := t - capLossStart; d > resil.TimeToFullRecoveryTicks {
+					resil.TimeToFullRecoveryTicks = d
+				}
+				capLossStart = -1
+			}
+		}
+
+		failoversNow := 0
 		anyUnmet := false
 		for _, zi := range acquireOrder {
 			z := &zones[zi]
+			if zoneShed != nil && zoneShed[zi] {
+				// Shed in brownout: the demand is deliberately unserved,
+				// and any parked failover is moot — the leases are gone.
+				z.pendingLost = z.pendingLost[:0]
+				if z.lastObs > 0 {
+					anyUnmet = true
+				}
+				continue
+			}
 			lost := lostCenters[zi]
 			need := partials[zi].need
+			if len(z.pendingLost) > 0 && t >= z.failoverAt {
+				// A deferred failover comes due: fold the parked centers
+				// into this tick's exclusion list.
+				for _, name := range z.pendingLost {
+					if !containsName(lost, name) {
+						lostCenters[zi] = append(lostCenters[zi], name)
+					}
+				}
+				lost = lostCenters[zi]
+				z.pendingLost = z.pendingLost[:0]
+			}
 			if len(lost) == 0 && t < z.retryAt {
 				// Backed off after injected rejections: don't hammer
 				// the ecosystem; the demand goes unserved this tick. A
@@ -918,6 +1096,22 @@ func Run(cfg Config) (*Result, error) {
 				continue
 			}
 			if need.IsZero() {
+				continue
+			}
+			if len(lost) > 0 && cfg.FailoverBudgetPerTick > 0 && failoversNow >= cfg.FailoverBudgetPerTick {
+				// Storm control: the per-tick failover budget is spent —
+				// park the lost centers and come back after a short
+				// deterministic jitter, so a region blackout does not
+				// stampede every zone onto the survivors at once.
+				for _, name := range lost {
+					if !containsName(z.pendingLost, name) {
+						z.pendingLost = append(z.pendingLost, name)
+					}
+				}
+				z.failoverAt = t + 1 + failoverJitter(zi, t)
+				resil.FailoversDeferred++
+				ro.failoverDeferred(t, z.tag, z.failoverAt)
+				anyUnmet = true
 				continue
 			}
 			retry := z.retries > 0
@@ -938,6 +1132,7 @@ func Run(cfg Config) (*Result, error) {
 			resil.PartialGrants += out.PartialGrants
 			ro.acquired(t, z.tag, leases, out, lost, asp)
 			if len(lost) > 0 {
+				failoversNow++
 				resil.Failovers++
 				resil.FailoverLeases += len(leases)
 			}

@@ -37,6 +37,17 @@ func compareResilience(t *testing.T, a, b *Resilience) {
 	if !bitsEqual(a.CapacityLostCPUTicks, b.CapacityLostCPUTicks) {
 		t.Fatalf("CapacityLostCPUTicks differs: %v != %v", a.CapacityLostCPUTicks, b.CapacityLostCPUTicks)
 	}
+	if a.RegionBlackouts != b.RegionBlackouts || a.FailoversDeferred != b.FailoversDeferred ||
+		a.BrownoutTicks != b.BrownoutTicks || a.ShedLeases != b.ShedLeases ||
+		a.TimeToFullRecoveryTicks != b.TimeToFullRecoveryTicks {
+		t.Fatalf("chaos counters differ: blackouts %d/%d deferred %d/%d brownout %d/%d shed %d/%d ttfr %d/%d",
+			a.RegionBlackouts, b.RegionBlackouts, a.FailoversDeferred, b.FailoversDeferred,
+			a.BrownoutTicks, b.BrownoutTicks, a.ShedLeases, b.ShedLeases,
+			a.TimeToFullRecoveryTicks, b.TimeToFullRecoveryTicks)
+	}
+	if !bitsEqual(a.ShedPlayerTicks, b.ShedPlayerTicks) {
+		t.Fatalf("ShedPlayerTicks differs: %v != %v", a.ShedPlayerTicks, b.ShedPlayerTicks)
+	}
 	if len(a.Availability) != len(b.Availability) {
 		t.Fatalf("Availability size %d != %d", len(a.Availability), len(b.Availability))
 	}

@@ -47,6 +47,10 @@ type runObs struct {
 	outagesFull    *obs.Counter
 	outagesPartial *obs.Counter
 	recoveries     *obs.Counter
+	regionDark     *obs.Counter
+	brownoutTicks  *obs.Counter
+	shedLeases     *obs.Counter
+	deferred       *obs.Counter
 
 	// Live-run gauges, set once per tick on the sequential reduce path.
 	tickGauge *obs.Gauge
@@ -142,6 +146,14 @@ func newRunObs(o *obs.Obs) *runObs {
 		"Center outage events by kind.", obs.L("kind", "partial"))
 	ro.recoveries = r.Counter("mmogdc_recoveries_total",
 		"Center recovery events (full or partial capacity returning).")
+	ro.regionDark = r.Counter("mmogdc_region_blackouts_total",
+		"Whole-region blackout windows injected by the correlated fault model.")
+	ro.brownoutTicks = r.Counter("mmogdc_brownout_ticks_total",
+		"Ticks spent in brownout mode (surviving capacity below demand).")
+	ro.shedLeases = r.Counter("mmogdc_shed_leases_total",
+		"Leases released by brownout priority shedding.")
+	ro.deferred = r.Counter("mmogdc_failovers_deferred_total",
+		"Failover re-acquisitions deferred by the per-tick failover budget.")
 
 	ro.tickGauge = r.Gauge("mmogdc_tick", "Current simulation tick.")
 	ro.allocCPU = r.Gauge("mmogdc_allocated_cpu_units",
@@ -427,6 +439,67 @@ func (ro *runObs) recovery(t int, center string, fraction float64) {
 	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: kind, Subject: center, Value: fraction, Span: span})
 }
 
+// regionBlackout records a whole failure domain going dark. It fires
+// before the member centers' individual outage events, so the audit
+// classifier sees the correlated cause first.
+func (ro *runObs) regionBlackout(t int, region string) {
+	if ro == nil {
+		return
+	}
+	ro.regionDark.Inc()
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventRegionBlackout, Subject: region})
+}
+
+// regionRecover records a blacked-out region's centers coming back.
+func (ro *runObs) regionRecover(t int, region string) {
+	if ro == nil {
+		return
+	}
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventRegionRecover, Subject: region})
+}
+
+// brownoutTransition records brownout mode engaging (gap is the CPU
+// demand exceeding the budget) or disengaging.
+func (ro *runObs) brownoutTransition(t int, engaged bool, gap float64) {
+	if ro == nil {
+		return
+	}
+	if engaged {
+		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventBrownoutStart, Value: gap, Span: ro.tickSp.ID()})
+	} else {
+		ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventBrownoutEnd, Span: ro.tickSp.ID()})
+	}
+}
+
+// brownoutTick counts one tick spent in brownout mode.
+func (ro *runObs) brownoutTick() {
+	if ro == nil {
+		return
+	}
+	ro.brownoutTicks.Inc()
+}
+
+// shed records one zone's demand being shed in brownout (players is
+// the player-load deliberately left unserved, leases how many of its
+// leases were released).
+func (ro *runObs) shed(t int, tag string, players float64, leases int) {
+	if ro == nil {
+		return
+	}
+	ro.shedLeases.Add(int64(leases))
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventShed, Subject: tag, Value: players, Span: ro.tickSp.ID()})
+}
+
+// failoverDeferred records storm control pushing a zone's failover
+// re-acquisition to tick until.
+func (ro *runObs) failoverDeferred(t int, tag string, until int) {
+	if ro == nil {
+		return
+	}
+	ro.deferred.Inc()
+	ro.o.Recorder.Record(obs.Event{Tick: t, Kind: obs.EventDeferred, Subject: tag, Value: float64(until), Span: ro.acqSp.ID()})
+}
+
 // droppedSample records one monitoring dropout.
 func (ro *runObs) droppedSample(t int, tag string) {
 	if ro == nil {
@@ -579,4 +652,8 @@ func (ro *runObs) finish(res *Result) {
 		"Mean CPU under-allocation over the run (%, <= 0).").Set(res.AvgUnderPct[datacenter.CPU])
 	r.Gauge("mmogdc_resumed_from_tick",
 		"Checkpoint tick this run resumed from (0 = fresh).").Set(float64(res.ResumedFromTick))
+	r.Gauge("mmogdc_shed_player_ticks",
+		"Player-load (players x ticks) deliberately unserved by brownout shedding.").Set(resil.ShedPlayerTicks)
+	r.Gauge("mmogdc_time_to_full_recovery_ticks",
+		"Longest stretch from capacity impairment to full recovery (ticks).").Set(float64(resil.TimeToFullRecoveryTicks))
 }

@@ -51,6 +51,28 @@ type Resilience struct {
 	// to the ecosystem: one unit means one CPU's worth of machines was
 	// gone for one tick.
 	CapacityLostCPUTicks float64
+	// RegionBlackouts counts whole-region blackout windows the
+	// correlated fault model injected (each downs every center of one
+	// failure domain at once).
+	RegionBlackouts int
+	// FailoversDeferred counts failover re-acquisitions the per-tick
+	// failover budget pushed to a later, jittered tick (storm control)
+	// instead of letting a blackout stampede the survivors.
+	FailoversDeferred int
+	// BrownoutTicks counts ticks spent in brownout mode: surviving
+	// effective capacity (minus the per-region reserve) could not cover
+	// the demand, so the lowest-priority zones were shed.
+	BrownoutTicks int
+	// ShedLeases counts leases released by brownout shedding;
+	// ShedPlayerTicks accumulates the player-load (players x ticks)
+	// whose demand went deliberately unserved while shed.
+	ShedLeases      int
+	ShedPlayerTicks float64
+	// TimeToFullRecoveryTicks is the longest stretch from a capacity
+	// impairment's onset (any center down or degraded, or brownout
+	// engaged) to the tick full capacity and normal service resumed;
+	// 0 when capacity was never impaired or never fully recovered.
+	TimeToFullRecoveryTicks int
 	// Availability maps each center to the mean fraction of its
 	// capacity available over the scored ticks (1 = never impaired).
 	Availability map[string]float64

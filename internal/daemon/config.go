@@ -101,6 +101,16 @@ type HotConfig struct {
 	// FaultSeed seeds the injection streams; changing it on reload
 	// reseeds them.
 	FaultSeed uint64 `json:"fault_seed"`
+	// BreakerThreshold arms the per-region circuit breaker: a region
+	// whose centers reject this many consecutive acquisition passes has
+	// its circuit opened, and observations for games homed there are
+	// refused with a typed 503 (region_unavailable) until a probe
+	// succeeds. 0 disables the breaker.
+	BreakerThreshold int `json:"breaker_threshold"`
+	// BreakerCooldown paces half-open probes on an open circuit: after
+	// this many refused observations the next one is admitted as a
+	// probe. Must be >= 1 when the breaker is armed.
+	BreakerCooldown int `json:"breaker_cooldown"`
 }
 
 // DefaultHot returns the hot configuration the daemon starts with when
@@ -128,6 +138,15 @@ func (h HotConfig) Validate() error {
 	}
 	if h.ObserveDelayMS < 0 {
 		return fmt.Errorf("daemon: observe_delay_ms must be >= 0, got %d", h.ObserveDelayMS)
+	}
+	if h.BreakerThreshold < 0 {
+		return fmt.Errorf("daemon: breaker_threshold must be >= 0, got %d", h.BreakerThreshold)
+	}
+	if h.BreakerCooldown < 0 {
+		return fmt.Errorf("daemon: breaker_cooldown must be >= 0, got %d", h.BreakerCooldown)
+	}
+	if h.BreakerThreshold > 0 && h.BreakerCooldown < 1 {
+		return fmt.Errorf("daemon: breaker_cooldown must be >= 1 when breaker_threshold is set, got %d", h.BreakerCooldown)
 	}
 	for _, p := range []struct {
 		name string

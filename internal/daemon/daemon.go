@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mmogdc/internal/checkpoint"
+	"mmogdc/internal/geo"
 	"mmogdc/internal/mmog"
 	"mmogdc/internal/obs"
 	"mmogdc/internal/operator"
@@ -33,7 +34,11 @@ type sample struct {
 // bounded ingest queue, the worker metrics, and the checkpoint store.
 type game struct {
 	spec GameSpec
-	mgr  *checkpoint.Manager
+	// region is the failure domain the game is homed in
+	// (geo.RegionOf(spec.Origin)); the circuit breaker gates admission
+	// by it.
+	region string
+	mgr    *checkpoint.Manager
 
 	// op, now, and dropRng are guarded by Daemon.ecoMu (the operator
 	// shares the matcher with every other game).
@@ -83,6 +88,7 @@ type Daemon struct {
 	ecoMu sync.Mutex
 
 	inj *grantInjector
+	brk *breaker
 
 	draining  atomic.Bool
 	drainOnce sync.Once
@@ -112,6 +118,7 @@ func New(cfg Config) (*Daemon, error) {
 	d.hot.Store(&hot)
 	d.inj = newGrantInjector(d, hot.FaultSeed)
 	cfg.Matcher.SetFaultInjector(d.inj)
+	d.brk = newBreaker(d, cfg.Matcher.Centers())
 
 	r := d.obs.Registry
 	d.mReloadOK = r.Counter("mmogdc_daemon_reloads_total",
@@ -148,6 +155,7 @@ func (d *Daemon) newGame(spec GameSpec, hot HotConfig) (*game, error) {
 	}
 	g := &game{
 		spec:         spec,
+		region:       geo.RegionOf(spec.Origin),
 		queue:        make(chan sample, d.cfg.QueueDepth),
 		now:          d.cfg.Start,
 		dropRng:      xrand.New(hot.FaultSeed ^ 0xd40f001d5eed ^ hashName(spec.Name)),
@@ -321,6 +329,10 @@ func (d *Daemon) observeOne(g *game, s sample) {
 		}
 	}
 	err := g.op.ObserveCtx(ctx, g.now, s.values)
+	// Feed the circuit breaker while the scratch slices are still valid
+	// (GrantActivity aliases per-tick buffers the next Observe reuses).
+	granted, rejected := g.op.GrantActivity()
+	d.brk.record(granted, rejected)
 	g.now = g.now.Add(hot.Tick())
 	ticks := g.op.Metrics().Ticks
 	var payload []byte

@@ -103,6 +103,15 @@ func (d *Daemon) handleObserve(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("observed %d zones, game %q has %d", n, req.Game, g.zones.Load()))
 		return
 	}
+	// The region circuit breaker gates admission: a game homed in a
+	// region whose centers keep rejecting grants is refused instead of
+	// queueing observations the region cannot serve.
+	if !d.brk.allow(g.region) {
+		w.Header().Set("Retry-After", "1")
+		d.typedError(w, http.StatusServiceUnavailable, "region_unavailable",
+			fmt.Sprintf("region %q circuit is open after consecutive grant failures", g.region))
+		return
+	}
 	tick, err := d.enqueue(g, req.Values)
 	switch {
 	case errors.Is(err, errDraining):

@@ -55,6 +55,12 @@ type Outcome struct {
 	Rejections int
 	// PartialGrants counts grants the injector trimmed.
 	PartialGrants int
+	// RejectedBy names the centers whose grants were vetoed, in the
+	// matching walk's preference order — the attribution a circuit
+	// breaker needs to localize failing domains. The slice aliases
+	// matcher scratch and is only valid until the next Allocate call;
+	// callers that retain it must copy.
+	RejectedBy []string
 }
 
 // Matcher allocates requests across a set of data centers. A Matcher
@@ -64,9 +70,10 @@ type Outcome struct {
 type Matcher struct {
 	centers []*datacenter.Center
 	faults  GrantFaults
-	// cands is the candidate scratch reused by AllocateDetailed so the
-	// per-tick acquire walk does not allocate.
-	cands []candidate
+	// cands and rejected are scratch reused by AllocateDetailed so the
+	// per-tick acquire walk does not allocate in steady state.
+	cands    []candidate
+	rejected []string
 }
 
 // SetFaultInjector installs (or, with nil, removes) the grant-fault
@@ -158,6 +165,7 @@ func (m *Matcher) Allocate(req Request, now time.Time) ([]*datacenter.Lease, dat
 // rejection (worth retrying later) from genuine capacity exhaustion.
 func (m *Matcher) AllocateDetailed(req Request, now time.Time) ([]*datacenter.Lease, datacenter.Vector, Outcome) {
 	var out Outcome
+	m.rejected = m.rejected[:0]
 	remaining := req.Demand.ClampNonNegative()
 	if remaining.IsZero() {
 		return nil, datacenter.Vector{}, out
@@ -198,6 +206,8 @@ func (m *Matcher) AllocateDetailed(req Request, now time.Time) ([]*datacenter.Le
 			reject, frac := m.faults.GrantFault(c.Name)
 			if reject {
 				out.Rejections++
+				m.rejected = append(m.rejected, c.Name)
+				out.RejectedBy = m.rejected
 				continue
 			}
 			if frac < 1 {

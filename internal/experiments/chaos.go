@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"mmogdc/internal/audit"
+	"mmogdc/internal/core"
+	"mmogdc/internal/datacenter"
+	"mmogdc/internal/faults"
+	"mmogdc/internal/geo"
+	"mmogdc/internal/mmog"
+	"mmogdc/internal/obs"
+	"mmogdc/internal/trace"
+)
+
+// Ext11Chaos is the scenario corpus for correlated failure domains: a
+// whole-region blackout at the demand peak, a follow-the-sun rolling
+// blackout that chases the load across domains, and a flash crowd
+// landing in the middle of an outage. Each scenario runs the dynamic
+// operator with storm control and brownout engaged, records the full
+// flight-recorder stream, and feeds it through the mmogaudit analyzer —
+// the acceptance bar is that every SLA-breach episode carries an
+// attributable root cause (zero unclassified).
+func Ext11Chaos(o Options) (string, error) {
+	opts := o.withDefaults()
+	if !opts.Quick && opts.Days > 4 {
+		opts.Days = 4
+	}
+	ds := provisioningTrace(opts)
+	game := standardGame()
+	neural := neuralFactory(opts)
+
+	ticksPerDay := ds.Samples() / opts.Days
+	peak := peakTick(ds)
+	const blackoutTicks = 40 // 80 minutes of darkness per domain
+
+	// The flash-crowd trace layers a content-release surge (+60%,
+	// Fig. 2's population event) so it is still ramping when the eu
+	// blackout lands on the (shifted) peak.
+	crowdDs := chaosTrace(opts, []trace.Event{{
+		Kind: trace.ContentRelease, Magnitude: 0.6, RecoveryDays: 1,
+		Day: float64(peak)/float64(ticksPerDay) - 0.25,
+	}})
+
+	scenarios := []struct {
+		name string
+		ds   *trace.Dataset
+		fc   *faults.Config
+	}{
+		{"region blackout at peak", ds, &faults.Config{Seed: opts.Seed,
+			ScheduledBlackouts: []faults.RegionBlackout{
+				{Region: "eu", Start: clampTick(peak-10, ds), Duration: blackoutTicks},
+			}}},
+		{"follow-the-sun rolling blackout", ds, &faults.Config{Seed: opts.Seed,
+			ScheduledBlackouts: []faults.RegionBlackout{
+				{Region: "eu", Start: clampTick(peak-10, ds), Duration: blackoutTicks},
+				{Region: "na-east", Start: clampTick(peak+50, ds), Duration: blackoutTicks},
+				{Region: "na-west", Start: clampTick(peak+110, ds), Duration: blackoutTicks},
+			}}},
+		{"flash crowd during outage", crowdDs, &faults.Config{Seed: opts.Seed,
+			ScheduledBlackouts: []faults.RegionBlackout{
+				{Region: "eu", Start: clampTick(peak-10, crowdDs), Duration: blackoutTicks},
+			}}},
+	}
+
+	digests, err := parallelMap(len(scenarios), func(i int) (string, error) {
+		sc := scenarios[i]
+		telemetry := obs.New()
+		var stream bytes.Buffer
+		telemetry.Recorder.SetSink(&stream)
+		res, err := core.Run(core.Config{
+			Centers:               tightFleet(game, sc.ds),
+			Workloads:             []core.Workload{{Game: game, Dataset: sc.ds, Predictor: neural}},
+			Faults:                sc.fc,
+			FailoverBudgetPerTick: 4,
+			Brownout:              true,
+			BrownoutReserveFrac:   0.10,
+			Obs:                   telemetry,
+		})
+		if err != nil {
+			return "", err
+		}
+		events, err := audit.LoadEvents(&stream)
+		if err != nil {
+			return "", err
+		}
+		rp := audit.Analyze(events, audit.BuildMetricsDoc(telemetry, res), nil)
+		return chaosDigest(sc.name, res, rp), nil
+	})
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString("Extension 11 — correlated failure-domain scenario corpus with audit attribution\n")
+	fmt.Fprintf(&b, "(%d ticks; storm-control budget 4 failovers/tick, brownout reserve 10%%, seed %d)\n",
+		ds.Samples(), opts.Seed)
+	for _, d := range digests {
+		b.WriteString("\n")
+		b.WriteString(d)
+	}
+	b.WriteString("\nEvery breach the corpus provokes is pinned to a mechanism the operator can\n")
+	b.WriteString("act on — a blackout window, a brownout shed, a deferred failover — rather\n")
+	b.WriteString("than surfacing as an anonymous dip. An audit run that cannot attribute an\n")
+	b.WriteString("episode fails the corpus (mmogaudit -fail-on-unclassified exits non-zero).\n")
+	return b.String(), nil
+}
+
+// chaosDigest condenses one scenario's mmogaudit report: resilience
+// accounting, the SLA-breach episode census by root cause, and the
+// analyzer's consistency-check verdict.
+func chaosDigest(name string, res *core.Result, rp *audit.Report) string {
+	var b strings.Builder
+	r := res.Resilience
+	fmt.Fprintf(&b, "--- %s ---\n", name)
+	fmt.Fprintf(&b, "region blackouts: %d", r.RegionBlackouts)
+	for _, w := range rp.Blackouts {
+		fmt.Fprintf(&b, "  [%s %d-%d]", w.Subject, w.StartTick, w.EndTick)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "failovers: %d (%d deferred by storm control)  brownout: %d tick(s), %d lease(s) shed, %s player-ticks unserved\n",
+		r.Failovers, r.FailoversDeferred, r.BrownoutTicks, r.ShedLeases, f2(r.ShedPlayerTicks))
+	fmt.Fprintf(&b, "time to full recovery: %d tick(s)  disruption events: %d\n",
+		r.TimeToFullRecoveryTicks, res.Events)
+
+	causes := map[string]int{}
+	for _, ep := range rp.Episodes {
+		causes[ep.Cause]++
+	}
+	if len(rp.Episodes) == 0 {
+		b.WriteString("SLA-breach episodes: none\n")
+	} else {
+		fmt.Fprintf(&b, "SLA-breach episodes: %d, by root cause:\n", len(rp.Episodes))
+		var rows [][]string
+		for _, cause := range sortedKeys(causes) {
+			rows = append(rows, []string{"  " + cause, fmt.Sprintf("%d", causes[cause])})
+		}
+		b.WriteString(table([]string{"  cause", "episodes"}, rows))
+	}
+	fmt.Fprintf(&b, "unclassified episodes: %d\n", rp.Unclassified)
+
+	ok := 0
+	var failed []string
+	for _, c := range rp.Checks {
+		if c.OK {
+			ok++
+		} else {
+			failed = append(failed, c.Name)
+		}
+	}
+	fmt.Fprintf(&b, "consistency checks: %d/%d ok", ok, len(rp.Checks))
+	if len(failed) > 0 {
+		fmt.Fprintf(&b, "  FAILED: %s", strings.Join(failed, "; "))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// tightFleet builds a three-domain deployment sized to the workload:
+// total capacity ~1.3x the trace's peak CPU demand, with the Europe
+// domain holding the majority share the way the trace's demand does.
+// Blacking out eu at peak then genuinely exceeds the survivors — the
+// regime where storm control and brownout shedding have decisions to
+// make. At the paper's full Table III scale this workload is a
+// rounding error and every scenario trivially absorbs; the corpus is
+// about scarcity under correlation.
+func tightFleet(game *mmog.Game, ds *trace.Dataset) []*datacenter.Center {
+	var peakCPU float64
+	for t := 0; t < ds.Samples(); t++ {
+		var d float64
+		for _, g := range ds.Groups {
+			d += game.DemandForEntities(g.Load.Values[t]).CPU
+		}
+		if d > peakCPU {
+			peakCPU = d
+		}
+	}
+	total := peakCPU * 1.3 / float64(datacenter.PerMachineCapacity[datacenter.CPU])
+	sites := []struct {
+		name  string
+		loc   geo.Point
+		share float64
+	}{
+		{"london", geo.London, 0.32}, // eu: 60%
+		{"amsterdam", geo.Amsterdam, 0.28},
+		{"nyc", geo.NewYork, 0.12}, // na-east: 22%
+		{"ashburn", geo.Ashburn, 0.10},
+		{"sanjose", geo.SanJose, 0.10}, // na-west: 18%
+		{"vancouver", geo.Vancouver, 0.08},
+	}
+	policy := datacenter.OptimalPolicy()
+	out := make([]*datacenter.Center, len(sites))
+	for i, s := range sites {
+		m := int(total*s.share + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		out[i] = datacenter.NewCenter(s.name, s.loc, m, policy)
+	}
+	return out
+}
+
+// chaosTrace is provisioningTrace with Fig. 2-style population events
+// layered on the same seed and regions.
+func chaosTrace(o Options, events []trace.Event) *trace.Dataset {
+	cfg := trace.Config{Seed: o.Seed, Days: o.Days, Events: events}
+	if o.Quick {
+		cfg.Regions = []trace.Region{
+			{ID: 0, Name: "Europe", Location: trace.DefaultRegions()[0].Location, Groups: 10},
+			{ID: 1, Name: "US East Coast", Location: trace.DefaultRegions()[1].Location, UTCOffsetHours: -5, Groups: 6},
+		}
+	}
+	return trace.Generate(cfg)
+}
+
+// peakTick returns the tick of the trace's aggregate demand peak — the
+// worst moment to lose a failure domain, so the moment the corpus does.
+func peakTick(ds *trace.Dataset) int {
+	best, bestAt := -1.0, 0
+	for t := 0; t < ds.Samples(); t++ {
+		var sum float64
+		for _, g := range ds.Groups {
+			sum += g.Load.Values[t]
+		}
+		if sum > best {
+			best, bestAt = sum, t
+		}
+	}
+	return bestAt
+}
+
+// clampTick keeps a scheduled blackout start inside the trace.
+func clampTick(t int, ds *trace.Dataset) int {
+	if t < 0 {
+		return 0
+	}
+	if max := ds.Samples() - 1; t > max {
+		return max
+	}
+	return t
+}

@@ -38,6 +38,8 @@ func Extensions() []Spec {
 			Title: "Multi-step-ahead forecast accuracy by predictor", Run: Ext09Horizon},
 		{ID: "ext10", Artifact: "Resilience",
 			Title: "Stochastic fault injection: dynamic vs static degradation", Run: Ext10Resilience},
+		{ID: "ext11", Artifact: "Resilience",
+			Title: "Correlated failure-domain scenario corpus with audit attribution", Run: Ext11Chaos},
 	}
 }
 

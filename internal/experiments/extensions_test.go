@@ -11,7 +11,7 @@ func TestExtensionsRegistered(t *testing.T) {
 	if len(all) != len(Registry())+len(Extensions()) {
 		t.Fatalf("All() has %d specs", len(all))
 	}
-	for _, id := range []string{"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07", "ext08", "ext09", "ext10"} {
+	for _, id := range []string{"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07", "ext08", "ext09", "ext10", "ext11"} {
 		if _, err := ByID(id); err != nil {
 			t.Errorf("extension %s not resolvable: %v", id, err)
 		}
@@ -158,5 +158,38 @@ func TestExt10Resilience(t *testing.T) {
 	}
 	if out != again {
 		t.Fatal("ext10 output not deterministic across runs")
+	}
+}
+
+func TestExt11Chaos(t *testing.T) {
+	out, err := Ext11Chaos(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"region blackout at peak", "follow-the-sun rolling blackout",
+		"flash crowd during outage", "deferred by storm control",
+		"consistency checks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext11 output missing %q", want)
+		}
+	}
+	// The acceptance bar: the audit attributes every SLA-breach episode
+	// in every scenario, and its cross-checks all pass.
+	if !strings.Contains(out, "unclassified episodes: 0") {
+		t.Error("ext11 left SLA-breach episodes unclassified")
+	}
+	if strings.Contains(out, "unclassified episodes: 1") ||
+		strings.Contains(out, "FAILED") {
+		t.Errorf("ext11 audit reported failures:\n%s", out)
+	}
+	// The corpus is seeded: two runs must agree byte-for-byte.
+	again, err := Ext11Chaos(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Fatal("ext11 output not deterministic across runs")
 	}
 }

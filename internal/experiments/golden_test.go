@@ -20,7 +20,7 @@ var goldenIDs = []string{
 	"fig01", "fig02", "fig03", "fig04", "tab01",
 	"tab05", "fig07", "fig08", "tab06", "fig09", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "tab07",
-	"ext01", "ext02", "ext04", "ext05", "ext06", "ext07", "ext08",
+	"ext01", "ext02", "ext04", "ext05", "ext06", "ext07", "ext08", "ext11",
 }
 
 // TestGoldenOutputs pins the quick-mode reports byte-for-byte: any

@@ -61,12 +61,68 @@ type Config struct {
 	// crashed operator's leases — they mark the ticks at which a
 	// crash-recovery harness kills and restores the operator.
 	OperatorCrashMTBFTicks float64
+
+	// Regions maps center name → failure-domain name for the correlated
+	// outage model below. Centers absent from the map never join a
+	// region blackout. Callers that know center locations typically fill
+	// it from geo.RegionOf; a nil map with no region faults configured
+	// is the (default) uncorrelated model.
+	Regions map[string]string
+	// RegionMTBFTicks is the mean number of healthy ticks between
+	// whole-region blackouts per region (exponentially distributed);
+	// 0 disables the stochastic blackout process. A blackout downs
+	// every center of the region at once — the correlated failure mode
+	// independent per-center MTBF draws cannot produce.
+	RegionMTBFTicks float64
+	// RegionMTTRTicks is the mean blackout duration in ticks
+	// (exponentially distributed, minimum 1); defaults to 10 when
+	// region blackouts are on.
+	RegionMTTRTicks float64
+	// AftershockProb is the probability that one center of a recovering
+	// region suffers a partial-degradation aftershock — it comes back
+	// at reduced capacity for a while before restoring fully.
+	AftershockProb float64
+	// AftershockMeanTicks is the mean aftershock duration in ticks
+	// (exponentially distributed, minimum 1); defaults to 5 when
+	// aftershocks are on.
+	AftershockMeanTicks float64
+	// ScheduledBlackouts adds deterministic region blackouts at fixed
+	// ticks, independent of the stochastic process — the scenario-corpus
+	// hook ("region eu goes dark at peak").
+	ScheduledBlackouts []RegionBlackout
+}
+
+// RegionBlackout is one deterministic whole-region outage window:
+// every center of Region fails at Start and recovers Duration ticks
+// later (clamped inside the run).
+type RegionBlackout struct {
+	Region   string
+	Start    int
+	Duration int
 }
 
 // Enabled reports whether the configuration injects anything at all.
 func (c Config) Enabled() bool {
 	return c.MTBFTicks > 0 || c.RejectProb > 0 || c.PartialGrantProb > 0 ||
-		c.DropoutProb > 0 || c.OperatorCrashMTBFTicks > 0
+		c.DropoutProb > 0 || c.OperatorCrashMTBFTicks > 0 ||
+		c.RegionMTBFTicks > 0 || len(c.ScheduledBlackouts) > 0
+}
+
+// CorrelatedEnabled reports whether the configuration injects
+// region-correlated faults (stochastic blackouts or a scheduled
+// corpus). Callers use it to decide whether to derive a region
+// topology for the centers.
+func (c Config) CorrelatedEnabled() bool {
+	return c.RegionMTBFTicks > 0 || len(c.ScheduledBlackouts) > 0
+}
+
+// effectiveMTTR applies the NewPlan default so validation judges the
+// repair time that will actually be used.
+func effectiveMTTR(mttr, def float64) float64 {
+	if mttr <= 0 {
+		return def
+	}
+	return mttr
 }
 
 // Validate rejects configurations outside the model's domain.
@@ -74,8 +130,32 @@ func (c Config) Validate() error {
 	if c.MTBFTicks < 0 || c.MTTRTicks < 0 {
 		return fmt.Errorf("faults: MTBF/MTTR must be >= 0 (got %v/%v)", c.MTBFTicks, c.MTTRTicks)
 	}
+	if c.MTBFTicks > 0 {
+		if mttr := effectiveMTTR(c.MTTRTicks, 10); mttr >= c.MTBFTicks {
+			return fmt.Errorf("faults: MTTR (%v) must be < MTBF (%v) — repairs at least as slow as failures keep centers permanently down", mttr, c.MTBFTicks)
+		}
+	}
 	if c.OperatorCrashMTBFTicks < 0 {
 		return fmt.Errorf("faults: OperatorCrashMTBFTicks must be >= 0 (got %v)", c.OperatorCrashMTBFTicks)
+	}
+	if c.RegionMTBFTicks < 0 || c.RegionMTTRTicks < 0 {
+		return fmt.Errorf("faults: region MTBF/MTTR must be >= 0 (got %v/%v)", c.RegionMTBFTicks, c.RegionMTTRTicks)
+	}
+	if c.RegionMTBFTicks > 0 {
+		if mttr := effectiveMTTR(c.RegionMTTRTicks, 10); mttr >= c.RegionMTBFTicks {
+			return fmt.Errorf("faults: region MTTR (%v) must be < region MTBF (%v) — repairs at least as slow as failures keep regions permanently dark", mttr, c.RegionMTBFTicks)
+		}
+	}
+	if c.AftershockMeanTicks < 0 {
+		return fmt.Errorf("faults: AftershockMeanTicks must be >= 0 (got %v)", c.AftershockMeanTicks)
+	}
+	for i, b := range c.ScheduledBlackouts {
+		if b.Region == "" {
+			return fmt.Errorf("faults: ScheduledBlackouts[%d] has no region", i)
+		}
+		if b.Start < 0 || b.Duration < 1 {
+			return fmt.Errorf("faults: ScheduledBlackouts[%d] (%s) needs Start >= 0 and Duration >= 1 (got %d/%d)", i, b.Region, b.Start, b.Duration)
+		}
 	}
 	for _, p := range []struct {
 		name string
@@ -85,6 +165,7 @@ func (c Config) Validate() error {
 		{"RejectProb", c.RejectProb},
 		{"PartialGrantProb", c.PartialGrantProb},
 		{"DropoutProb", c.DropoutProb},
+		{"AftershockProb", c.AftershockProb},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("faults: %s must be in [0,1], got %v", p.name, p.v)
@@ -105,19 +186,33 @@ type Outage struct {
 	// Fraction is the share of the center's machines lost: 1 is a full
 	// outage, anything below is a partial capacity degradation.
 	Fraction float64
+	// Region names the failure domain when the window belongs to a
+	// correlated region event (blackout or aftershock); empty for the
+	// independent per-center draws.
+	Region string
+}
+
+// Blackout is one whole-region outage window: every mapped center of
+// Region is dark over [Start, End).
+type Blackout struct {
+	Region     string
+	Start, End int
 }
 
 // Plan is the pre-generated fault schedule of one run plus the
 // sequential grant-fault stream. A nil *Plan is valid and injects
 // nothing, so callers can thread it unconditionally.
 type Plan struct {
-	cfg       Config
-	outages   []Outage
-	failAt    map[int][]Outage
-	recoverAt map[int][]Outage
-	crashes   []int
-	grants    *xrand.Rand
-	dropSeed  uint64
+	cfg        Config
+	outages    []Outage
+	failAt     map[int][]Outage
+	recoverAt  map[int][]Outage
+	blackouts  []Blackout
+	blackStart map[int][]Blackout
+	blackEnd   map[int][]Blackout
+	crashes    []int
+	grants     *xrand.Rand
+	dropSeed   uint64
 }
 
 // NewPlan generates the fault schedule for a run of the given length
@@ -130,11 +225,13 @@ func NewPlan(cfg Config, centers []string, ticks int) *Plan {
 	}
 	root := xrand.New(cfg.Seed ^ 0x6fa17a1c5eed5a1d)
 	p := &Plan{
-		cfg:       cfg,
-		failAt:    map[int][]Outage{},
-		recoverAt: map[int][]Outage{},
-		grants:    root.Split(0x67a47),
-		dropSeed:  root.Split(0xd0b0).Uint64(),
+		cfg:        cfg,
+		failAt:     map[int][]Outage{},
+		recoverAt:  map[int][]Outage{},
+		blackStart: map[int][]Blackout{},
+		blackEnd:   map[int][]Blackout{},
+		grants:     root.Split(0x67a47),
+		dropSeed:   root.Split(0xd0b0).Uint64(),
 	}
 	if cfg.MTBFTicks > 0 {
 		for i, name := range centers {
@@ -171,7 +268,14 @@ func NewPlan(cfg Config, centers []string, ticks int) *Plan {
 			p.crashes = append(p.crashes, t)
 		}
 	}
-	sort.Slice(p.outages, func(i, j int) bool {
+	if cfg.CorrelatedEnabled() {
+		p.generateRegionFaults(root, centers, ticks)
+	}
+	// Stable: correlated region windows can legitimately tie an
+	// independent draw on (Start, Center); generation order breaks the
+	// tie deterministically. Without region faults no ties exist, so
+	// the ordering is unchanged from the uncorrelated model.
+	sort.SliceStable(p.outages, func(i, j int) bool {
 		a, b := p.outages[i], p.outages[j]
 		if a.Start != b.Start {
 			return a.Start < b.Start
@@ -182,7 +286,105 @@ func NewPlan(cfg Config, centers []string, ticks int) *Plan {
 		p.failAt[o.Start] = append(p.failAt[o.Start], o)
 		p.recoverAt[o.End] = append(p.recoverAt[o.End], o)
 	}
+	sort.SliceStable(p.blackouts, func(i, j int) bool {
+		a, b := p.blackouts[i], p.blackouts[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Region < b.Region
+	})
+	for _, b := range p.blackouts {
+		p.blackStart[b.Start] = append(p.blackStart[b.Start], b)
+		p.blackEnd[b.End] = append(p.blackEnd[b.End], b)
+	}
 	return p
+}
+
+// generateRegionFaults layers the correlated region-blackout schedule —
+// deterministic corpus blackouts plus the stochastic per-region
+// process — on top of the independent per-center draws. Every stream
+// here is a fresh Split child of root, so enabling region faults never
+// perturbs the per-center, crash, grant, or dropout draws (and
+// vice versa: goldens without region faults stay bit-identical).
+func (p *Plan) generateRegionFaults(root *xrand.Rand, centers []string, ticks int) {
+	cfg := p.cfg
+	byRegion := map[string][]string{}
+	for _, name := range centers {
+		if reg := cfg.Regions[name]; reg != "" {
+			byRegion[reg] = append(byRegion[reg], name)
+		}
+	}
+	aftMean := cfg.AftershockMeanTicks
+	if aftMean <= 0 {
+		aftMean = 5
+	}
+	addBlackout := func(region string, start, end int, r *xrand.Rand) {
+		members := byRegion[region]
+		if len(members) == 0 {
+			return
+		}
+		p.blackouts = append(p.blackouts, Blackout{Region: region, Start: start, End: end})
+		for _, name := range members {
+			p.outages = append(p.outages, Outage{
+				Center: name, Start: start, End: end, Fraction: 1, Region: region,
+			})
+			if cfg.AftershockProb > 0 && r.Bool(cfg.AftershockProb) {
+				aEnd := end + 1 + int(r.Exp(aftMean))
+				if aEnd > ticks-1 {
+					aEnd = ticks - 1
+				}
+				frac := 0.2 + 0.6*r.Float64()
+				if end < ticks-1 && aEnd > end {
+					p.outages = append(p.outages, Outage{
+						Center: name, Start: end, End: aEnd, Fraction: frac, Region: region,
+					})
+				}
+			}
+		}
+	}
+	// The deterministic corpus first, with its own aftershock stream.
+	sa := root.Split(0x5afe7c)
+	for _, b := range cfg.ScheduledBlackouts {
+		if b.Start >= ticks-1 {
+			continue
+		}
+		end := b.Start + b.Duration
+		if end > ticks-1 {
+			end = ticks - 1
+		}
+		addBlackout(b.Region, b.Start, end, sa)
+	}
+	// Then the stochastic process: one split stream per region, keyed
+	// by the sorted region order so the schedule is independent of map
+	// iteration and of which centers happen to exist.
+	if cfg.RegionMTBFTicks > 0 {
+		mttr := cfg.RegionMTTRTicks
+		if mttr <= 0 {
+			mttr = 10
+		}
+		regions := make([]string, 0, len(byRegion))
+		for reg := range byRegion {
+			regions = append(regions, reg)
+		}
+		sort.Strings(regions)
+		regRoot := root.Split(0xb1ac0de)
+		for ri, reg := range regions {
+			r := regRoot.Split(uint64(ri) + 1)
+			t := 0
+			for {
+				start := t + 1 + int(r.Exp(cfg.RegionMTBFTicks))
+				if start >= ticks-1 {
+					break
+				}
+				end := start + 1 + int(r.Exp(mttr))
+				if end > ticks-1 {
+					end = ticks - 1
+				}
+				addBlackout(reg, start, end, r)
+				t = end
+			}
+		}
+	}
 }
 
 // Outages returns the full schedule, ordered by start tick.
@@ -207,6 +409,31 @@ func (p *Plan) RecoveriesAt(t int) []Outage {
 		return nil
 	}
 	return p.recoverAt[t]
+}
+
+// Blackouts returns the whole-region outage windows (deterministic
+// corpus plus the stochastic process), ordered by start tick.
+func (p *Plan) Blackouts() []Blackout {
+	if p == nil {
+		return nil
+	}
+	return p.blackouts
+}
+
+// BlackoutsAt returns the region blackouts beginning at tick t.
+func (p *Plan) BlackoutsAt(t int) []Blackout {
+	if p == nil {
+		return nil
+	}
+	return p.blackStart[t]
+}
+
+// BlackoutRecoveriesAt returns the region blackouts ending at tick t.
+func (p *Plan) BlackoutRecoveriesAt(t int) []Blackout {
+	if p == nil {
+		return nil
+	}
+	return p.blackEnd[t]
 }
 
 // OperatorCrashes returns the ticks at which the operator process

@@ -217,3 +217,207 @@ func TestNilPlanInjectsNothing(t *testing.T) {
 		t.Fatal("nil plan faulted a grant")
 	}
 }
+
+func TestValidateRejectsMTTRAtLeastMTBF(t *testing.T) {
+	for _, c := range []Config{
+		{MTBFTicks: 30, MTTRTicks: 30},
+		{MTBFTicks: 30, MTTRTicks: 45},
+		{MTBFTicks: 5}, // MTTR defaults to 10 >= 5
+		{RegionMTBFTicks: 20, RegionMTTRTicks: 20},
+		{RegionMTBFTicks: 8}, // region MTTR defaults to 10 >= 8
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("always-down config %+v accepted", c)
+		}
+	}
+	for _, c := range []Config{
+		{MTBFTicks: 30, MTTRTicks: 29},
+		{MTBFTicks: 30}, // defaulted MTTR 10 < 30
+		{RegionMTBFTicks: 150, RegionMTTRTicks: 25},
+	} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("valid config %+v rejected: %v", c, err)
+		}
+	}
+}
+
+func regionConfig(seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		Regions:         map[string]string{"a": "eu", "b": "eu", "c": "na"},
+		RegionMTBFTicks: 100,
+		RegionMTTRTicks: 20,
+		AftershockProb:  0.5,
+	}
+}
+
+func TestRegionBlackoutDownsWholeDomain(t *testing.T) {
+	cfg := regionConfig(11)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(cfg, []string{"a", "b", "c"}, 2000)
+	if len(p.Blackouts()) == 0 {
+		t.Fatal("region process generated no blackouts over 2000 ticks")
+	}
+	// Every blackout must produce one full outage per member center of
+	// the region, all sharing the window.
+	for _, b := range p.Blackouts() {
+		members := map[string]bool{}
+		for _, o := range p.Outages() {
+			if o.Region == b.Region && o.Start == b.Start && o.End == b.End && o.Fraction == 1 {
+				members[o.Center] = true
+			}
+		}
+		want := 2 // eu
+		if b.Region == "na" {
+			want = 1
+		}
+		if len(members) != want {
+			t.Fatalf("blackout %+v downed %d centers, want %d", b, len(members), want)
+		}
+	}
+	// Aftershocks are partial and tagged with the region.
+	aftershocks := 0
+	for _, o := range p.Outages() {
+		if o.Region != "" && o.Fraction < 1 {
+			aftershocks++
+			if o.Fraction < 0.2 || o.Fraction > 0.8 {
+				t.Fatalf("aftershock fraction %v outside [0.2, 0.8]", o.Fraction)
+			}
+		}
+	}
+	if aftershocks == 0 {
+		t.Fatal("AftershockProb 0.5 produced no aftershocks")
+	}
+}
+
+func TestScheduledBlackoutDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:    3,
+		Regions: map[string]string{"a": "eu", "b": "eu"},
+		ScheduledBlackouts: []RegionBlackout{
+			{Region: "eu", Start: 100, Duration: 40},
+		},
+	}
+	if !cfg.Enabled() || !cfg.CorrelatedEnabled() {
+		t.Fatal("scheduled blackout config claims disabled")
+	}
+	p := NewPlan(cfg, []string{"a", "b"}, 720)
+	bs := p.Blackouts()
+	if len(bs) != 1 || bs[0] != (Blackout{Region: "eu", Start: 100, End: 140}) {
+		t.Fatalf("unexpected blackouts %+v", bs)
+	}
+	if n := len(p.FailuresAt(100)); n != 2 {
+		t.Fatalf("%d failures at blackout start, want 2", n)
+	}
+	if n := len(p.RecoveriesAt(140)); n != 2 {
+		t.Fatalf("%d recoveries at blackout end, want 2", n)
+	}
+	if n := len(p.BlackoutsAt(100)); n != 1 {
+		t.Fatalf("%d blackouts at 100, want 1", n)
+	}
+	if n := len(p.BlackoutRecoveriesAt(140)); n != 1 {
+		t.Fatalf("%d blackout recoveries at 140, want 1", n)
+	}
+	// Clamped inside the run when the window runs off the end.
+	late := NewPlan(Config{
+		Seed:    3,
+		Regions: map[string]string{"a": "eu"},
+		ScheduledBlackouts: []RegionBlackout{
+			{Region: "eu", Start: 700, Duration: 500},
+		},
+	}, []string{"a"}, 720)
+	if bs := late.Blackouts(); len(bs) != 1 || bs[0].End != 719 {
+		t.Fatalf("late blackout not clamped: %+v", bs)
+	}
+}
+
+func TestRegionFaultsDoNotPerturbIndependentDraws(t *testing.T) {
+	// The bit-identity contract: enabling the correlated layer must not
+	// change a single draw of the per-center outage, crash, grant, or
+	// dropout streams.
+	centers := []string{"a", "b", "c"}
+	base := chaosConfig(7)
+	base.OperatorCrashMTBFTicks = 200
+	withRegions := base
+	withRegions.Regions = map[string]string{"a": "eu", "b": "eu", "c": "na"}
+	withRegions.RegionMTBFTicks = 300
+	withRegions.RegionMTTRTicks = 25
+	withRegions.AftershockProb = 0.7
+	withRegions.ScheduledBlackouts = []RegionBlackout{{Region: "na", Start: 50, Duration: 30}}
+
+	p0 := NewPlan(base, centers, 2000)
+	p1 := NewPlan(withRegions, centers, 2000)
+
+	// Per-center outages (Region == "") identical in content and order.
+	var ind0, ind1 []Outage
+	for _, o := range p0.Outages() {
+		ind0 = append(ind0, o)
+	}
+	for _, o := range p1.Outages() {
+		if o.Region == "" {
+			ind1 = append(ind1, o)
+		}
+	}
+	if len(ind0) != len(ind1) {
+		t.Fatalf("independent outage counts diverged: %d vs %d", len(ind0), len(ind1))
+	}
+	for i := range ind0 {
+		if ind0[i] != ind1[i] {
+			t.Fatalf("independent outage %d diverged: %+v vs %+v", i, ind0[i], ind1[i])
+		}
+	}
+	// Crash schedule identical.
+	c0, c1 := p0.OperatorCrashes(), p1.OperatorCrashes()
+	if len(c0) != len(c1) {
+		t.Fatalf("crash schedules diverged: %v vs %v", c0, c1)
+	}
+	for i := range c0 {
+		if c0[i] != c1[i] {
+			t.Fatalf("crash schedules diverged at %d: %v vs %v", i, c0, c1)
+		}
+	}
+	// Grant stream identical.
+	for i := 0; i < 200; i++ {
+		r0, f0 := p0.GrantFault("dc")
+		r1, f1 := p1.GrantFault("dc")
+		if r0 != r1 || f0 != f1 {
+			t.Fatalf("grant stream diverged at attempt %d", i)
+		}
+	}
+	// Dropout hash identical.
+	for z := 0; z < 10; z++ {
+		for tick := 0; tick < 200; tick++ {
+			if p0.DropSample(z, tick) != p1.DropSample(z, tick) {
+				t.Fatalf("dropout stream diverged at (%d, %d)", z, tick)
+			}
+		}
+	}
+}
+
+func TestRegionPlanDeterministicForSeed(t *testing.T) {
+	centers := []string{"a", "b", "c"}
+	for seed := uint64(1); seed <= 5; seed++ {
+		p1 := NewPlan(regionConfig(seed), centers, 2000)
+		p2 := NewPlan(regionConfig(seed), centers, 2000)
+		o1, o2 := p1.Outages(), p2.Outages()
+		if len(o1) != len(o2) {
+			t.Fatalf("seed %d: outage counts differ", seed)
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("seed %d: outage %d differs: %+v vs %+v", seed, i, o1[i], o2[i])
+			}
+		}
+		b1, b2 := p1.Blackouts(), p2.Blackouts()
+		if len(b1) != len(b2) {
+			t.Fatalf("seed %d: blackout counts differ", seed)
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("seed %d: blackout %d differs", seed, i)
+			}
+		}
+	}
+}

@@ -105,19 +105,45 @@ func (c LatencyClass) String() string {
 	}
 }
 
-// ClassOf returns the tightest latency class that admits dKm.
+// ClassOf returns the tightest latency class that admits dKm. The
+// boundaries are inclusive, matching Admits: a server at exactly
+// 1000 km is still VeryClose.
 func ClassOf(dKm float64) LatencyClass {
 	switch {
 	case dKm <= sameLocationSlackKm:
 		return SameLocation
-	case dKm < 1000:
+	case dKm <= 1000:
 		return VeryClose
-	case dKm < 2000:
+	case dKm <= 2000:
 		return Close
-	case dKm < 4000:
+	case dKm <= 4000:
 		return Far
 	default:
 		return VeryFar
+	}
+}
+
+// RegionOf buckets a point into a named failure domain. Centers in the
+// same region share power grids, backbone fiber, and weather, so the
+// correlated-fault model (internal/faults) fails them together. The
+// buckets cover the named locations below with continental granularity:
+// "eu", "na-west", "na-east", "au". Anything outside those boxes falls
+// back to a deterministic 30-degree grid cell ("cell(lat,lon)"), so the
+// function is total and two centers at nearby coordinates land in the
+// same domain.
+func RegionOf(p Point) string {
+	switch {
+	case p.LatDeg > 35 && p.LonDeg >= -15 && p.LonDeg <= 45:
+		return "eu"
+	case p.LatDeg > 25 && p.LonDeg >= -130 && p.LonDeg < -100:
+		return "na-west"
+	case p.LatDeg > 25 && p.LonDeg >= -100 && p.LonDeg <= -60:
+		return "na-east"
+	case p.LatDeg < 0 && p.LonDeg > 100:
+		return "au"
+	default:
+		return fmt.Sprintf("cell(%d,%d)",
+			int(math.Floor(p.LatDeg/30)), int(math.Floor(p.LonDeg/30)))
 	}
 }
 

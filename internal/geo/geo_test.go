@@ -71,11 +71,14 @@ func TestLatencyClassThresholds(t *testing.T) {
 		{49, SameLocation},
 		{51, VeryClose},
 		{999, VeryClose},
-		{1000, Close},
+		{1000, VeryClose}, // boundaries are inclusive, matching Admits
+		{1001, Close},
 		{1999, Close},
-		{2000, Far},
+		{2000, Close},
+		{2001, Far},
 		{3999, Far},
-		{4000, VeryFar},
+		{4000, Far},
+		{4001, VeryFar},
 		{20000, VeryFar},
 	}
 	for _, c := range cases {
@@ -132,5 +135,31 @@ func TestClassOfConsistentWithAdmits(t *testing.T) {
 	}, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRegionOfBucketsNamedLocations(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want string
+	}{
+		{Helsinki, "eu"}, {Stockholm, "eu"}, {London, "eu"}, {Amsterdam, "eu"},
+		{SanJose, "na-west"}, {Seattle, "na-west"}, {Vancouver, "na-west"}, {LosAngeles, "na-west"},
+		{Chicago, "na-east"}, {NewYork, "na-east"}, {Ashburn, "na-east"},
+		{Toronto, "na-east"}, {Montreal, "na-east"},
+		{Sydney, "au"}, {Melbourne, "au"},
+	}
+	for _, c := range cases {
+		if got := RegionOf(c.p); got != c.want {
+			t.Errorf("RegionOf(%+v) = %q, want %q", c.p, got, c.want)
+		}
+	}
+	// Off-grid points fall into deterministic grid cells, never panic.
+	odd := Point{-50.0, -70.0} // Patagonia
+	if got := RegionOf(odd); got != RegionOf(odd) || got == "" {
+		t.Errorf("RegionOf grid fallback unstable or empty: %q", got)
+	}
+	if RegionOf(Point{-50, -70}) == RegionOf(Point{10, 70}) {
+		t.Error("distant grid cells collide")
 	}
 }

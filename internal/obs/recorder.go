@@ -39,6 +39,14 @@ const (
 	EventCheckpoint = "checkpoint"     // a checkpoint was written (Value: payload bytes)
 	EventResume     = "resume"         // the run resumed from a checkpoint (Value: tick)
 	EventBreach     = "sla_breach"     // a tick with significant under-allocation (Value: worst Y%, <= 0)
+
+	// Correlated-failure and graceful-degradation kinds (PR 8).
+	EventRegionBlackout = "region_blackout"   // every center of a failure domain went dark (Subject: region)
+	EventRegionRecover  = "region_recover"    // a blacked-out region's centers came back (Subject: region)
+	EventBrownoutStart  = "brownout_start"    // surviving capacity < demand; priority shedding engaged (Value: demand−budget CPU)
+	EventBrownoutEnd    = "brownout_end"      // capacity covers demand again; shedding disengaged
+	EventShed           = "shed"              // a zone's demand was shed in brownout (Value: players shed)
+	EventDeferred       = "failover_deferred" // storm control pushed a failover to a later tick (Value: retry tick)
 )
 
 // Recorder is a bounded ring buffer of Events — the flight recorder.

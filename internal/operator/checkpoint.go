@@ -12,7 +12,7 @@ import (
 
 // payloadKind stamps operator checkpoints so they can never be
 // confused with the batch engine's (internal/core) snapshots.
-const payloadKind = "mmogdc/operator@1"
+const payloadKind = "mmogdc/operator@2"
 
 // Snapshot serializes the operator's complete provisioning state: the
 // per-zone predictors, tick counter and running metrics, the LOCF
@@ -51,6 +51,13 @@ func (o *Operator) Snapshot() ([]byte, error) {
 	e.Int(o.retries)
 	e.Int(o.consecRejects)
 	e.Int(o.retryAtTick)
+	e.Int(o.failoversDeferred)
+	e.Int(o.failoverAtTick)
+	e.Int(o.nextFailoverOK)
+	e.Int(len(o.pendingLost))
+	for _, name := range o.pendingLost {
+		e.Str(name)
+	}
 	live := 0
 	for _, l := range o.leases {
 		if !l.Released() {
@@ -142,6 +149,19 @@ func FromSnapshot(cfg Config, payload []byte) (*Operator, *Reconciliation, error
 	o.retries = d.Int()
 	o.consecRejects = d.Int()
 	o.retryAtTick = d.Int()
+	o.failoversDeferred = d.Int()
+	o.failoverAtTick = d.Int()
+	o.nextFailoverOK = d.Int()
+	nPending := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, nil, fmt.Errorf("operator: %w", err)
+	}
+	if nPending < 0 || nPending > 1<<16 {
+		return nil, nil, fmt.Errorf("operator: checkpoint parks %d failovers", nPending)
+	}
+	for i := 0; i < nPending; i++ {
+		o.pendingLost = append(o.pendingLost, d.Str())
+	}
 	nLeases := d.Int()
 	if err := d.Err(); err != nil {
 		return nil, nil, fmt.Errorf("operator: %w", err)

@@ -73,8 +73,18 @@ type HarnessConfig struct {
 	Crashes        []CrashPoint
 	CrashMTBFTicks float64
 	MidTickShare   float64
-	// Outages fail whole centers for wall-tick windows.
+	// Outages fail whole centers for wall-tick windows. A region
+	// blackout is expressed as overlapping windows covering every
+	// center of one domain.
 	Outages []HarnessOutage
+	// MultiRegion spreads the centers across two failure domains —
+	// alpha and beta in Europe, gamma and delta on the US east coast —
+	// so region-blackout scenarios have a surviving domain to fail over
+	// to. Off, the harness keeps its classic two London centers.
+	MultiRegion bool
+	// FailoverCooldownTicks enables the operator's failover storm
+	// control for the scenario (0 = off).
+	FailoverCooldownTicks int
 	// DropoutProb injects NaN monitoring samples (also a pure function
 	// of seed/zone/tick, so both runs see the same dropouts).
 	DropoutProb float64
@@ -148,12 +158,21 @@ func (h HarnessConfig) loadsAt(tick int) []float64 {
 	return out
 }
 
-// buildMatcher constructs the harness ecosystem: two equivalent
-// fine-grained centers, so failovers have somewhere to go.
+// buildMatcher constructs the harness ecosystem: equivalent
+// fine-grained centers, so failovers have somewhere to go — two London
+// centers by default, or two-per-domain with MultiRegion.
 func (h HarnessConfig) buildMatcher() *ecosystem.Matcher {
 	var b datacenter.Vector
 	b[datacenter.CPU] = 0.05
 	p := datacenter.HostingPolicy{Name: "fine", Bulk: b, TimeBulk: time.Hour}
+	if h.MultiRegion {
+		return ecosystem.NewMatcher([]*datacenter.Center{
+			datacenter.NewCenter("alpha", geo.London, h.Machines, p),
+			datacenter.NewCenter("beta", geo.Amsterdam, h.Machines, p),
+			datacenter.NewCenter("gamma", geo.NewYork, h.Machines, p),
+			datacenter.NewCenter("delta", geo.Ashburn, h.Machines, p),
+		})
+	}
 	return ecosystem.NewMatcher([]*datacenter.Center{
 		datacenter.NewCenter("alpha", geo.London, h.Machines, p),
 		datacenter.NewCenter("beta", geo.London, h.Machines, p),
@@ -162,11 +181,12 @@ func (h HarnessConfig) buildMatcher() *ecosystem.Matcher {
 
 func (h HarnessConfig) operatorConfig(m *ecosystem.Matcher) Config {
 	return Config{
-		Game:      mmog.NewGame("harness", mmog.GenreMMORPG),
-		Origin:    geo.London,
-		Predictor: h.Predictor,
-		Matcher:   m,
-		Tick:      h.Tick,
+		Game:                  mmog.NewGame("harness", mmog.GenreMMORPG),
+		Origin:                geo.London,
+		Predictor:             h.Predictor,
+		Matcher:               m,
+		Tick:                  h.Tick,
+		FailoverCooldownTicks: h.FailoverCooldownTicks,
 	}
 }
 

@@ -122,6 +122,50 @@ func TestCrashEquivalenceWithOutages(t *testing.T) {
 	}
 }
 
+// TestCrashEquivalenceMidRegionBlackout extends the matrix with
+// correlated failure domains: both European centers black out in a
+// rolling window (alpha, then beta two ticks later — inside the
+// failover cooldown, so storm control parks the second failover), and
+// the operator is killed both at a boundary and mid-tick while the
+// region is dark. The resumed trajectory must stay bit-identical,
+// including the deferred-failover state threaded through the
+// checkpoint.
+func TestCrashEquivalenceMidRegionBlackout(t *testing.T) {
+	cfg := HarnessConfig{
+		Seed:                  21,
+		Ticks:                 150,
+		MultiRegion:           true,
+		FailoverCooldownTicks: 5,
+		CheckpointDir:         t.TempDir(),
+		Outages: []HarnessOutage{
+			{Center: "alpha", Start: 40, End: 60},
+			{Center: "beta", Start: 42, End: 60}, // rolling: lands inside the cooldown
+		},
+		Crashes: []CrashPoint{
+			{Tick: 44},                // boundary, region dark, failover parked
+			{Tick: 51, MidTick: true}, // mid-tick while still dark
+		},
+	}
+	res, err := RunCrashHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Restores) != 2 {
+		t.Fatalf("restores = %d", len(res.Restores))
+	}
+	assertTrajectoriesEqual(t, res, 0)
+	if res.CrashedMetrics != res.ReferenceMetrics {
+		t.Fatalf("metrics diverged:\n  reference %+v\n  crashed   %+v",
+			res.ReferenceMetrics, res.CrashedMetrics)
+	}
+	if res.ReferenceMetrics.Failovers == 0 {
+		t.Fatal("region blackout produced no failovers")
+	}
+	if res.ReferenceMetrics.FailoversDeferred == 0 {
+		t.Fatal("rolling blackout inside the cooldown deferred nothing — storm control was not exercised")
+	}
+}
+
 // TestCrashEquivalenceRandomizedSchedule drives the crash ticks from
 // the fault injector's exponential schedule (faults.Config.
 // OperatorCrashMTBFTicks) instead of hand-picked points. With a

@@ -60,6 +60,12 @@ type Config struct {
 	Matcher *ecosystem.Matcher
 	// SafetyMargin inflates forecasts before requesting (0 = exact).
 	SafetyMargin float64
+	// FailoverCooldownTicks rate-limits failover re-acquisitions (storm
+	// control): after a failover, further failovers landing within the
+	// cooldown are parked and retried after a short deterministic jitter
+	// instead of stampeding the surviving centers alongside every other
+	// operator hit by the same correlated outage. 0 disables the limit.
+	FailoverCooldownTicks int
 	// Tick is the monitoring interval; defaults to two minutes.
 	Tick time.Duration
 	// Obs, when non-nil, streams the operator's telemetry (Observe
@@ -95,6 +101,19 @@ type Operator struct {
 	// bounded backoff after injected rejections.
 	consecRejects int
 	retryAtTick   int
+	// failover storm control: centers whose loss was parked by the
+	// cooldown, the tick the parked failover retries, and the first
+	// tick a new failover is admitted again.
+	pendingLost       []string
+	failoverAtTick    int
+	nextFailoverOK    int
+	failoversDeferred int
+	// last tick's acquisition activity, for callers (the daemon's
+	// circuit breaker) that attribute grant health to centers.
+	// lastGranted is reused scratch; lastRejected aliases the matcher's
+	// per-call scratch. Both are valid only until the next Observe.
+	lastGranted  []string
+	lastRejected []string
 	// oo streams telemetry when Config.Obs is set (nil otherwise; all
 	// its methods no-op on nil).
 	oo *opObs
@@ -139,6 +158,9 @@ type Metrics struct {
 	Rejections    int
 	PartialGrants int
 	Retries       int
+	// FailoversDeferred counts failovers the cooldown parked for a
+	// later, jittered tick instead of serving immediately.
+	FailoversDeferred int
 }
 
 // Observe ingests one monitoring snapshot (per-zone loads at time
@@ -182,6 +204,11 @@ func (o *Operator) ObserveCtx(ctx context.Context, now time.Time, zoneLoads []fl
 		o.lastLoads = make([]float64, len(zoneLoads))
 		o.cleanBuf = make([]float64, len(zoneLoads))
 	}
+	// This tick starts with no acquisition activity; the early returns
+	// below (satisfied demand, parked failover, backoff) leave it empty.
+	o.lastGranted = o.lastGranted[:0]
+	o.lastRejected = nil
+
 	start := o.oo.now()
 	o.oo.beginObserve(start, o.ticks)
 	defer o.oo.observed(start)
@@ -234,6 +261,20 @@ func (o *Operator) ObserveCtx(ctx context.Context, now time.Time, zoneLoads []fl
 	want := o.demandFor(o.lastForecast)
 	want = want.Scale(1 + o.cfg.SafetyMargin)
 	need := want.Sub(o.allocAt(now.Add(o.cfg.Tick))).ClampNonNegative()
+	// A parked failover coming due folds into this tick's exclusions;
+	// until then acquisition is held entirely — re-leasing the gap
+	// immediately would defeat the cooldown the deferral bought.
+	if len(o.pendingLost) > 0 {
+		if o.ticks < o.failoverAtTick {
+			return nil
+		}
+		for _, name := range o.pendingLost {
+			if !containsCenter(lost, name) {
+				lost = append(lost, name)
+			}
+		}
+		o.pendingLost = o.pendingLost[:0]
+	}
 	if need.IsZero() {
 		o.consecRejects = 0
 		return nil
@@ -241,6 +282,19 @@ func (o *Operator) ObserveCtx(ctx context.Context, now time.Time, zoneLoads []fl
 	// Backed off after rejections — but a failover overrides the wait:
 	// capacity just vanished and waiting would compound the outage.
 	if len(lost) == 0 && o.ticks < o.retryAtTick {
+		return nil
+	}
+	// Storm control: a failover inside the cooldown window is parked
+	// and retried after a deterministic jitter.
+	if len(lost) > 0 && o.cfg.FailoverCooldownTicks > 0 && o.ticks < o.nextFailoverOK {
+		for _, name := range lost {
+			if !containsCenter(o.pendingLost, name) {
+				o.pendingLost = append(o.pendingLost, name)
+			}
+		}
+		o.failoverAtTick = o.ticks + 1 + deferJitter(o.cfg.Game.Name, o.ticks)
+		o.failoversDeferred++
+		o.oo.failoverDeferred(o.ticks, o.cfg.Game.Name, o.failoverAtTick)
 		return nil
 	}
 	if o.consecRejects > 0 {
@@ -255,11 +309,18 @@ func (o *Operator) ObserveCtx(ctx context.Context, now time.Time, zoneLoads []fl
 		Exclude:       lost,
 	}, now)
 	o.leases = append(o.leases, leases...)
+	for _, l := range leases {
+		o.lastGranted = append(o.lastGranted, l.Center.Name)
+	}
+	o.lastRejected = out.RejectedBy
 	o.rejections += out.Rejections
 	o.partialGrants += out.PartialGrants
 	o.oo.acquired(o.ticks, o.cfg.Game.Name, leases, out, lost)
 	if len(lost) > 0 {
 		o.failovers++
+		if o.cfg.FailoverCooldownTicks > 0 {
+			o.nextFailoverOK = o.ticks + o.cfg.FailoverCooldownTicks
+		}
 	}
 	if out.Rejections > 0 && !unmet.IsZero() {
 		if o.consecRejects < maxRetryExp {
@@ -281,15 +342,25 @@ func (o *Operator) ObserveCtx(ctx context.Context, now time.Time, zoneLoads []fl
 // that retain it across ticks must copy.
 func (o *Operator) Forecast() []float64 { return o.lastForecast }
 
+// GrantActivity reports the most recent Observe's acquisition by
+// center: the centers that granted a lease and the centers whose
+// grants the fault injector rejected. Both are empty on ticks that
+// attempted no acquisition. The slices are scratch reused by the next
+// Observe — callers that retain them must copy.
+func (o *Operator) GrantActivity() (granted, rejected []string) {
+	return o.lastGranted, o.lastRejected
+}
+
 // Metrics returns the running summary.
 func (o *Operator) Metrics() Metrics {
 	m := Metrics{
 		Ticks: o.ticks, Events: o.events,
-		DroppedSamples: o.droppedSamples,
-		Failovers:      o.failovers,
-		Rejections:     o.rejections,
-		PartialGrants:  o.partialGrants,
-		Retries:        o.retries,
+		DroppedSamples:    o.droppedSamples,
+		Failovers:         o.failovers,
+		Rejections:        o.rejections,
+		PartialGrants:     o.partialGrants,
+		Retries:           o.retries,
+		FailoversDeferred: o.failoversDeferred,
 	}
 	if o.overTicks > 0 {
 		m.AvgOverPct = o.overSum / float64(o.overTicks)
@@ -298,6 +369,32 @@ func (o *Operator) Metrics() Metrics {
 		m.AvgShortfall = o.shortfallSum / float64(o.ticks)
 	}
 	return m
+}
+
+// containsCenter reports whether name is in the (tiny) list.
+func containsCenter(list []string, name string) bool {
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// deferJitter spreads deferred failovers over 0–3 extra ticks with a
+// stateless SplitMix64-style hash of (game, tick): deterministic for
+// replay and checkpoint equivalence, yet desynchronized across the
+// operators a correlated outage hits at once.
+func deferJitter(game string, tick int) int {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(game); i++ {
+		h = (h ^ uint64(game[i])) * 1099511628211
+	}
+	h ^= uint64(tick) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h & 3)
 }
 
 // demandFor converts per-zone loads into the total resource demand.

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Chaos smoke: fault-injection scenarios under the race detector, with
+# the mmogaudit toolchain as the exit gate.
+#
+# 1. Stochastic injector: MTBF/MTTR outages plus grant rejections and
+#    monitoring dropouts must finish and report resilience accounting
+#    (the injector, failover, and backoff paths on the parallel engine).
+# 2. Correlated region blackout: a scheduled eu blackout at the evening
+#    peak with storm control and brownout armed. The run's telemetry is
+#    piped through mmogaudit, which must (a) pass every consistency
+#    check, (b) attribute every SLA-breach episode to a root cause
+#    (-fail-on-unclassified exits 1 otherwise), and (c) render the
+#    failure-domain window it reconstructed from the event stream.
+set -eu
+cd "$(dirname "$0")/.."
+
+go run -race ./cmd/mmogsim -days 1 -predictor lastvalue \
+	-mtbf 150 -mttr 25 -fault-seed 7 \
+	-fault-reject 0.05 -fault-dropout 0.02 -fault-degraded 0.5 \
+	| grep 'outages:' > /dev/null
+
+d=$(mktemp -d)
+trap 'rm -rf "$d"' EXIT
+
+go run -race ./cmd/mmogsim -days 1 -predictor lastvalue \
+	-blackout eu:480:40 -failover-budget 4 -brownout -brownout-reserve 0.1 \
+	-obs-events "$d/events.jsonl" -metrics-out "$d/metrics.json" \
+	> "$d/sim.out" 2> "$d/sim.err"
+grep -q 'region blackouts: 1' "$d/sim.out"
+grep -q 'failovers deferred by storm control' "$d/sim.out"
+
+go run ./cmd/mmogaudit -events "$d/events.jsonl" -metrics "$d/metrics.json" \
+	-fail-on-unclassified > "$d/audit.md"
+grep -q '## Failure domains' "$d/audit.md"
+grep -q '| eu | 480-520 |' "$d/audit.md"
+
+echo "chaos-smoke: ok"

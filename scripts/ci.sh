@@ -16,13 +16,11 @@ go test -race ./...
 # intentional change by committing the refreshed BENCH_core.json.
 sh scripts/bench_json.sh
 
-# Fault-injection smoke: a short chaos run under the race detector must
-# finish and report its resilience accounting (the stochastic injector,
-# failover, and backoff paths all exercise the parallel engine).
-go run -race ./cmd/mmogsim -days 1 -predictor lastvalue \
-	-mtbf 150 -mttr 25 -fault-seed 7 \
-	-fault-reject 0.05 -fault-dropout 0.02 -fault-degraded 0.5 \
-	| grep 'outages:' > /dev/null
+# Fault-injection smoke: the stochastic injector plus a correlated
+# region blackout under the race detector, gated by mmogaudit — every
+# SLA-breach episode must carry a root cause and all consistency
+# checks must pass.
+sh scripts/chaos_smoke.sh
 
 # Crash-recovery smoke under the race detector: run to a deterministic
 # "crash" (-stop-after-tick) with checkpointing on, resume over the
