@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench bench-json chaos-smoke recovery-smoke obs-smoke daemon-smoke
+.PHONY: ci vet build test race bench-smoke bench bench-json chaos-smoke recovery-smoke obs-smoke daemon-smoke slo-smoke
 
-ci: vet build race bench-json chaos-smoke recovery-smoke obs-smoke daemon-smoke
+ci: vet build race bench-json chaos-smoke recovery-smoke obs-smoke daemon-smoke slo-smoke
 
 vet:
 	$(GO) vet ./...
@@ -72,6 +72,14 @@ obs-smoke:
 # 429s, the blown-drain hard exit, and the mmogaudit load report.
 daemon-smoke:
 	sh scripts/daemon_smoke.sh
+
+# SLO + tracing smoke: a forced breach under an armed burn-rate alert
+# with end-to-end traceparent propagation; mmogaudit merges the client
+# and server traces, scores the alert against ground truth (perfect
+# precision/recall, lag <= 2 ticks), and a rules-off control run must
+# answer byte-identically (write-only telemetry).
+slo-smoke:
+	sh scripts/slo_smoke.sh
 
 # Full benchmark suite (minutes).
 bench:

@@ -26,9 +26,13 @@ func main() {
 		metricsPath = flag.String("metrics", "", "metrics snapshot JSON (from mmogsim -metrics-out)")
 		tracePath   = flag.String("trace", "", "Chrome trace_event JSON (from mmogsim -trace-out)")
 		loadPath    = flag.String("load", "", "load-generator report JSON (from mmogload -o)")
+		clientPath  = flag.String("client-trace", "", "client-side Chrome trace (from mmogload -trace-out); with -trace, unlocks the cross-process request critical path")
+		mergedPath  = flag.String("merged-trace-out", "", "write the merged client+server Chrome trace here (requires -trace and -client-trace)")
 		outPath     = flag.String("o", "", "write the report here instead of stdout")
 		failUnclass = flag.Bool("fail-on-unclassified", false,
 			"exit 1 when any SLA-breach episode has no attributable root cause")
+		failMissed = flag.Bool("fail-on-missed-breach", false,
+			"exit 1 when a breach episode fired no SLO alert (or no engine was armed at all)")
 	)
 	flag.Parse()
 
@@ -74,7 +78,41 @@ func main() {
 		}
 	}
 
+	var clientTr *audit.Trace
+	if *clientPath != "" {
+		f, err := os.Open(*clientPath)
+		if err != nil {
+			fatal(err)
+		}
+		clientTr, err = audit.LoadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	report := audit.Analyze(events, md, tr)
+
+	if clientTr != nil && tr != nil {
+		rpp, merged := audit.CrossProcess(clientTr, tr)
+		report.AttachRequestPath(rpp)
+		if *mergedPath != "" {
+			f, err := os.Create(*mergedPath)
+			if err != nil {
+				fatal(err)
+			}
+			err = audit.WriteMergedTrace(f, merged)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}
+	} else if *mergedPath != "" {
+		fmt.Fprintln(os.Stderr, "mmogaudit: -merged-trace-out needs both -trace and -client-trace")
+		os.Exit(2)
+	}
 
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
@@ -114,6 +152,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mmogaudit: %d SLA-breach episode(s) unclassified — no signal in the stream explains them\n",
 			report.Unclassified)
 		os.Exit(1)
+	}
+	if *failMissed {
+		switch a := report.Alerts; {
+		case a == nil && len(report.Episodes) > 0:
+			fmt.Fprintf(os.Stderr, "mmogaudit: %d breach episode(s) but no SLO engine armed (no slo_alert events)\n",
+				len(report.Episodes))
+			os.Exit(1)
+		case a != nil && a.Detected < a.Episodes:
+			fmt.Fprintf(os.Stderr, "mmogaudit: %d of %d breach episode(s) fired no SLO alert\n",
+				a.Episodes-a.Detected, a.Episodes)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -69,6 +69,8 @@ func run() int {
 		cfgPath   = flag.String("config", "", "hot-config JSON file (loaded at start, re-read on SIGHUP)")
 		drainTmo  = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline before hard exit")
 		obsEvents = flag.String("obs-events", "", "append every flight-recorder event to this JSONL file")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace of request/observe/acquire spans here at drain (enables tracing)")
+		rtMetrics = flag.Bool("runtime-metrics", true, "export Go runtime self-telemetry (GC, heap, goroutines, sched latency) on /metrics")
 	)
 	flag.Parse()
 
@@ -106,6 +108,15 @@ func run() int {
 			return 2
 		}
 		telemetry.Recorder.SetSink(eventsFile)
+	}
+	if *traceOut != "" {
+		// PID-prefixed span IDs keep the daemon's IDs disjoint from the
+		// load generator's, so mmogaudit can merge both trace files
+		// without collisions.
+		telemetry.EnableTracing(0).SetIDBase(obs.PIDSpanBase())
+	}
+	if *rtMetrics {
+		telemetry.EnableRuntimeMetrics()
 	}
 
 	centers := []*datacenter.Center{
@@ -158,6 +169,11 @@ func run() int {
 			if eventsFile != nil {
 				eventsFile.Close()
 			}
+			if *traceOut != "" {
+				if werr := writeTrace(*traceOut, telemetry); werr != nil {
+					fmt.Fprintln(os.Stderr, "daemon: trace-out:", werr)
+				}
+			}
 			if err != nil {
 				if errors.Is(err, daemon.ErrDrainTimeout) {
 					fmt.Fprintln(os.Stderr, "daemon: drain deadline exceeded — hard exit")
@@ -199,6 +215,19 @@ func run() int {
 			}
 		}
 	}
+}
+
+// writeTrace flushes the collected spans as a Chrome trace file.
+func writeTrace(path string, telemetry *obs.Obs) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.Tracer.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // loadHot reads a hot-config JSON file on top of the given base, so a

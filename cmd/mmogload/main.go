@@ -27,6 +27,7 @@ import (
 
 	"mmogdc/internal/audit"
 	"mmogdc/internal/emulator"
+	"mmogdc/internal/obs"
 	"mmogdc/internal/stats"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request timeout")
 		retries  = flag.Int("retries", 3, "max re-sends per sample after a transport error or 503 (0 disables)")
 		outPath  = flag.String("o", "", "write the JSON load report here (for mmogaudit -load)")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace of client request spans here (enables W3C traceparent propagation)")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -69,8 +71,22 @@ func main() {
 	url := "http://" + *addr + "/v1/observe"
 	pace := time.Duration(float64(*interval) / *rate)
 
+	// With -trace-out every request carries a W3C traceparent whose
+	// parent-id is this request's client span, so the daemon's
+	// per-request span chains under it and mmogaudit can merge the two
+	// trace files into one cross-process timeline. The trace-id is
+	// derived from the seed: two runs with the same seed share one
+	// trace.
+	var tracer *obs.Tracer
+	traceID := *seed
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+		tracer.SetIDBase(obs.PIDSpanBase())
+	}
+
 	var accepted, shed, rejected, retried int
 	rtts := make([]float64, 0, *n)
+	byStatus := map[string][]float64{}
 	values := make([]float64, *grid**grid)
 	body := &bytes.Buffer{}
 	start := time.Now()
@@ -95,8 +111,24 @@ func main() {
 		// overload run exists to measure and is never retried. The RTT
 		// sample covers the whole resolution including retries: that is
 		// the observe-loop latency a client actually experiences.
+		var span *obs.Span
+		var traceparent string
+		if tracer != nil {
+			span = tracer.Begin("client.request", "client", 0)
+			span.SetSubject(*game)
+			span.SetTick(i)
+			traceparent = obs.Traceparent(traceID, span.ID())
+		}
 		post := func() int {
-			resp, err := client.Post(url, "application/json", bytes.NewReader(body.Bytes()))
+			req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body.Bytes()))
+			if err != nil {
+				return 0
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if traceparent != "" {
+				req.Header.Set("traceparent", traceparent)
+			}
+			resp, err := client.Do(req)
 			if err != nil {
 				return 0
 			}
@@ -111,15 +143,28 @@ func main() {
 			retried++
 			status = post()
 		}
-		rtts = append(rtts, float64(time.Since(t0))/float64(time.Millisecond))
+		rtt := float64(time.Since(t0)) / float64(time.Millisecond)
+		rtts = append(rtts, rtt)
+		// The client span covers the whole resolution, retries
+		// included, and records the final status — the same window the
+		// RTT sample measures.
+		if span != nil {
+			span.SetValue(float64(status))
+			span.End()
+		}
+		var bucket string
 		switch status {
 		case http.StatusAccepted:
 			accepted++
+			bucket = "accepted"
 		case http.StatusTooManyRequests:
 			shed++
+			bucket = "shed"
 		default:
 			rejected++
+			bucket = "rejected"
 		}
+		byStatus[bucket] = append(byStatus[bucket], rtt)
 		// Fixed-schedule pacing (not sleep-after-response): a slow
 		// daemon does not slow the generator down, which is what makes
 		// the overload run an overload.
@@ -146,6 +191,18 @@ func main() {
 			MaxMS: stats.Max(rtts),
 		},
 	}
+	report.RTTByStatus = map[string]audit.StatusQuantiles{}
+	for bucket, samples := range byStatus {
+		report.RTTByStatus[bucket] = audit.StatusQuantiles{
+			Count: len(samples),
+			LoadQuantiles: audit.LoadQuantiles{
+				P50MS: stats.Quantile(samples, 0.50),
+				P95MS: stats.Quantile(samples, 0.95),
+				P99MS: stats.Quantile(samples, 0.99),
+				MaxMS: stats.Max(samples),
+			},
+		}
+	}
 
 	fmt.Printf("mmogload: %d samples in %.2fs (%.1f/s attempted, pace %s)\n",
 		report.Samples, report.DurationSeconds, report.AttemptedHz, pace)
@@ -153,6 +210,26 @@ func main() {
 		report.Samples, report.Accepted, report.Shed, report.Rejected, report.Retries)
 	fmt.Printf("mmogload: rtt_ms p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
 		report.RTT.P50MS, report.RTT.P95MS, report.RTT.P99MS, report.RTT.MaxMS)
+	for _, bucket := range []string{"accepted", "shed", "rejected"} {
+		if q, ok := report.RTTByStatus[bucket]; ok {
+			fmt.Printf("mmogload: rtt_ms[%s] n=%d p50=%.3f p99=%.3f max=%.3f\n",
+				bucket, q.Count, q.P50MS, q.P99MS, q.MaxMS)
+		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tracer.WriteTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmogload: trace-out:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

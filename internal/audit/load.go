@@ -15,6 +15,15 @@ type LoadQuantiles struct {
 	MaxMS float64 `json:"max_ms"`
 }
 
+// StatusQuantiles is one admission outcome's share of the round trips
+// and its own latency tail — a 429 resolves much faster than an
+// accepted observe, so the blended RTT quantiles understate the
+// accepted path under shedding; this breakdown keeps them honest.
+type StatusQuantiles struct {
+	Count int `json:"count"`
+	LoadQuantiles
+}
+
 // LoadReport is cmd/mmogload's machine-readable run summary: how the
 // daemon's admission behaved under the generated load (accepted vs
 // shed vs rejected) and the observe-loop round-trip latency tail —
@@ -37,6 +46,11 @@ type LoadReport struct {
 	// DrainSeconds is the daemon's measured drain time when the
 	// generator captured it (0 otherwise).
 	DrainSeconds float64 `json:"drain_seconds,omitempty"`
+	// RTTByStatus splits the round-trip tail by admission outcome,
+	// keyed "accepted" / "shed" / "rejected". Optional: older reports
+	// omit it, and the per-status counts must sum to Samples when
+	// present (checked by AttachLoad).
+	RTTByStatus map[string]StatusQuantiles `json:"rtt_by_status,omitempty"`
 }
 
 // LoadLoadReport parses a cmd/mmogload -o document.
@@ -58,4 +72,13 @@ func (rp *Report) AttachLoad(ld *LoadReport) {
 		check("load samples all accounted (accepted+shed+rejected)",
 			fmt.Sprint(ld.Samples),
 			fmt.Sprint(ld.Accepted+ld.Shed+ld.Rejected)))
+	if len(ld.RTTByStatus) > 0 {
+		sum := 0
+		for _, q := range ld.RTTByStatus {
+			sum += q.Count
+		}
+		rp.Checks = append(rp.Checks,
+			check("per-status RTT counts sum to samples",
+				fmt.Sprint(ld.Samples), fmt.Sprint(sum)))
+	}
 }

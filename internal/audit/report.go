@@ -97,6 +97,44 @@ type PhaseStat struct {
 	MeanUS  float64
 }
 
+// AlertQuality scores the SLO engine's slo_alert firings against the
+// ground truth the audit already reconstructs: the SLA-breach episodes.
+// A firing at tick t matches an episode covering [Start, End +
+// causeLookbackTicks] — the same tolerance the root-cause classifier
+// uses, since an alert confirmed one burn window after the breach ends
+// is still attributing the same incident.
+type AlertQuality struct {
+	// Fired counts firing transitions; TruePositives the ones matching
+	// some episode (the rest are false alarms).
+	Fired         int
+	TruePositives int
+	// Episodes is the ground-truth episode count; Detected how many had
+	// at least one matching firing.
+	Episodes int
+	Detected int
+	// MeanLagTicks / MaxLagTicks measure detection latency: each
+	// detected episode's first matching firing tick minus its start.
+	MeanLagTicks float64
+	MaxLagTicks  int
+}
+
+// Precision is TruePositives/Fired (1 when nothing fired — no false
+// alarms).
+func (a *AlertQuality) Precision() float64 {
+	if a.Fired == 0 {
+		return 1
+	}
+	return float64(a.TruePositives) / float64(a.Fired)
+}
+
+// Recall is Detected/Episodes (1 when there was nothing to detect).
+func (a *AlertQuality) Recall() float64 {
+	if a.Episodes == 0 {
+		return 1
+	}
+	return float64(a.Detected) / float64(a.Episodes)
+}
+
 // Check is one consistency assertion between the artifacts.
 type Check struct {
 	Name string
@@ -143,6 +181,15 @@ type Report struct {
 	// From a cmd/mmogload report (nil when absent; see AttachLoad).
 	Load *LoadReport
 
+	// Alerts scores SLO firings against the breach episodes; nil when
+	// the stream has no slo_alert events (engine not armed), so
+	// alert-free reports render unchanged.
+	Alerts *AlertQuality
+
+	// RequestPath is the cross-process critical path; nil unless
+	// AttachRequestPath merged a client and a server trace.
+	RequestPath *RequestPathReport
+
 	Checks []Check
 }
 
@@ -152,6 +199,7 @@ func Analyze(events []obs.Event, md *MetricsDoc, tr *Trace) *Report {
 	rp := &Report{EventTotal: len(events)}
 	rp.censusFrom(events)
 	rp.episodesFrom(events)
+	rp.alertsFrom(events)
 	rp.centersFrom(events, md)
 	if md != nil {
 		rp.HasMetrics = true
@@ -379,6 +427,54 @@ func (rp *Report) episodesFrom(events []obs.Event) {
 	}
 }
 
+// alertsFrom scores slo_alert firings against the breach episodes.
+// Runs without an SLO engine (no slo_alert events at all) leave Alerts
+// nil, so their reports are byte-identical to pre-engine ones.
+func (rp *Report) alertsFrom(events []obs.Event) {
+	saw := false
+	var firings []int
+	for _, e := range events {
+		if e.Kind != obs.EventSLOAlert {
+			continue
+		}
+		saw = true
+		if e.Detail == "firing" {
+			firings = append(firings, e.Tick)
+		}
+	}
+	if !saw {
+		return
+	}
+	sort.Ints(firings)
+	aq := &AlertQuality{Fired: len(firings), Episodes: len(rp.Episodes)}
+	for _, t := range firings {
+		for _, ep := range rp.Episodes {
+			if ep.StartTick <= t && t <= ep.EndTick+causeLookbackTicks {
+				aq.TruePositives++
+				break
+			}
+		}
+	}
+	lagSum := 0
+	for _, ep := range rp.Episodes {
+		for _, t := range firings { // sorted: first match is the earliest
+			if ep.StartTick <= t && t <= ep.EndTick+causeLookbackTicks {
+				aq.Detected++
+				lag := t - ep.StartTick
+				lagSum += lag
+				if lag > aq.MaxLagTicks {
+					aq.MaxLagTicks = lag
+				}
+				break
+			}
+		}
+	}
+	if aq.Detected > 0 {
+		aq.MeanLagTicks = float64(lagSum) / float64(aq.Detected)
+	}
+	rp.Alerts = aq
+}
+
 // sortWindows orders domain windows for a stable report (map-fed).
 func sortWindows(ws []DomainWindow) {
 	sort.Slice(ws, func(i, j int) bool {
@@ -523,6 +619,19 @@ func (rp *Report) Render(w io.Writer) error {
 		b.WriteString("\n")
 	}
 
+	if a := rp.Alerts; a != nil {
+		b.WriteString("## Alert quality (SLO engine vs ground truth)\n\n")
+		fmt.Fprintf(&b, "alerts fired: %d  true positives: %d  false alarms: %d\n",
+			a.Fired, a.TruePositives, a.Fired-a.TruePositives)
+		fmt.Fprintf(&b, "breach episodes: %d  detected: %d  missed: %d\n",
+			a.Episodes, a.Detected, a.Episodes-a.Detected)
+		fmt.Fprintf(&b, "precision %.3f  recall %.3f\n", a.Precision(), a.Recall())
+		if a.Detected > 0 {
+			fmt.Fprintf(&b, "detection lag ticks: mean %.1f  max %d\n", a.MeanLagTicks, a.MaxLagTicks)
+		}
+		b.WriteString("\n")
+	}
+
 	b.WriteString("## Per-center grant attribution\n\n")
 	if len(rp.Centers) == 0 {
 		b.WriteString("no grants recorded\n\n")
@@ -589,6 +698,22 @@ func (rp *Report) Render(w io.Writer) error {
 		b.WriteString("\n")
 	}
 
+	if rpp := rp.RequestPath; rpp != nil {
+		b.WriteString("## Request critical path (cross-process trace)\n\n")
+		fmt.Fprintf(&b, "matched requests: %d (client %d, server %d)\n\n",
+			rpp.Matched, rpp.ClientRequests, rpp.ServerRequests)
+		b.WriteString("| stage | count | min us | mean us | max us |\n|---|---:|---:|---:|---:|\n")
+		writeStage := func(name string, d LatencyDist) {
+			fmt.Fprintf(&b, "| %s | %d | %.1f | %.1f | %.1f |\n",
+				name, d.Count, d.MinUS, d.MeanUS, d.MaxUS)
+		}
+		writeStage("client.request (RTT)", rpp.ClientRTT)
+		writeStage("daemon.queue_wait", rpp.QueueWait)
+		writeStage("daemon.observe", rpp.Observe)
+		writeStage("operator.acquire", rpp.Acquire)
+		b.WriteString("\n")
+	}
+
 	if rp.Load != nil {
 		ld := rp.Load
 		b.WriteString("## Daemon load (Meterstick-style)\n\n")
@@ -605,6 +730,14 @@ func (rp *Report) Render(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "observe-loop RTT ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
 			ld.RTT.P50MS, ld.RTT.P95MS, ld.RTT.P99MS, ld.RTT.MaxMS)
+		for _, status := range []string{"accepted", "shed", "rejected"} {
+			q, ok := ld.RTTByStatus[status]
+			if !ok || q.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %s (%d): p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
+				status, q.Count, q.P50MS, q.P95MS, q.P99MS, q.MaxMS)
+		}
 		if ld.DrainSeconds > 0 {
 			fmt.Fprintf(&b, "drain time: %.3fs\n", ld.DrainSeconds)
 		}

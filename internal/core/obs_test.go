@@ -31,7 +31,10 @@ func obsConfig(workers int, o *obs.Obs) Config {
 // TestObsRunBitIdentical is the write-only contract of the telemetry
 // layer: enabling observability — including span tracing — must not
 // change a single bit of the Result, on a run that exercises every
-// instrumented path.
+// instrumented path. daemon.TestDaemonObsBitIdentical extends the same
+// contract to the service path (request tracing, SLO rules, runtime
+// telemetry), and scripts/slo_smoke.sh re-proves it end to end over
+// HTTP.
 func TestObsRunBitIdentical(t *testing.T) {
 	plain, err := Run(obsConfig(2, nil))
 	if err != nil {

@@ -12,6 +12,7 @@ package daemon
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 
 	"mmogdc/internal/ecosystem"
@@ -19,6 +20,7 @@ import (
 	"mmogdc/internal/mmog"
 	"mmogdc/internal/obs"
 	"mmogdc/internal/predict"
+	"mmogdc/internal/slo"
 )
 
 // GameSpec declares one game the daemon provisions for. The zone count
@@ -111,6 +113,12 @@ type HotConfig struct {
 	// this many refused observations the next one is admitted as a
 	// probe. Must be >= 1 when the breaker is armed.
 	BreakerCooldown int `json:"breaker_cooldown"`
+	// SLORules arms the burn-rate alerting engine (internal/slo) over
+	// the daemon's metrics, evaluated on each game's virtual tick
+	// clock. Empty (the default) disables the engine entirely; rules
+	// swap with the rest of the hot config, and the engine is rebuilt
+	// (alert state reset) when they change.
+	SLORules []slo.RuleConfig `json:"slo_rules,omitempty"`
 }
 
 // DefaultHot returns the hot configuration the daemon starts with when
@@ -159,6 +167,9 @@ func (h HotConfig) Validate() error {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("daemon: %s must be in [0,1], got %v", p.name, p.v)
 		}
+	}
+	if err := slo.ValidateRules(h.SLORules); err != nil {
+		return fmt.Errorf("daemon: %w", err)
 	}
 	return nil
 }
@@ -210,7 +221,9 @@ func (c *Config) withDefaults() error {
 	if c.Start.IsZero() {
 		c.Start = time.Date(2008, 3, 1, 0, 0, 0, 0, time.UTC)
 	}
-	if c.Hot == (HotConfig{}) {
+	// DeepEqual, not ==: the SLO rule slice makes HotConfig
+	// non-comparable.
+	if reflect.DeepEqual(c.Hot, HotConfig{}) {
 		c.Hot = DefaultHot()
 	}
 	return c.Hot.Validate()

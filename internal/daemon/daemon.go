@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"mmogdc/internal/mmog"
 	"mmogdc/internal/obs"
 	"mmogdc/internal/operator"
+	"mmogdc/internal/slo"
 	"mmogdc/internal/xrand"
 )
 
@@ -28,6 +30,10 @@ type sample struct {
 	values []float64
 	tick   int64
 	enq    time.Time
+	// span is the admitting HTTP request's span ID (0 when tracing is
+	// off): the queue-wait and observe spans hang off it, so a merged
+	// trace shows the whole request-scoped critical path.
+	span obs.SpanID
 }
 
 // game is one provisioned game's runtime state: the operator, its
@@ -90,6 +96,12 @@ type Daemon struct {
 	inj *grantInjector
 	brk *breaker
 
+	// slo is the burn-rate alert engine compiled from the hot config's
+	// rules (nil when none are configured — the common case). Swapped
+	// whole on reload; Eval is internally locked, so the per-game
+	// workers evaluate without holding ecoMu.
+	slo atomic.Pointer[slo.Engine]
+
 	draining  atomic.Bool
 	drainOnce sync.Once
 	wg        sync.WaitGroup
@@ -137,10 +149,36 @@ func New(cfg Config) (*Daemon, error) {
 		}
 		d.games[spec.Name] = g
 		d.order = append(d.order, spec.Name)
+	}
+	// Rules were validated with the rest of the hot config; compiling
+	// them needs d.order for the default-game resolution, so it happens
+	// after the games exist and before any worker can evaluate.
+	if err := d.rebuildSLO(hot); err != nil {
+		return nil, err
+	}
+	for _, name := range d.order {
 		d.wg.Add(1)
-		go d.worker(g)
+		go d.worker(d.games[name])
 	}
 	return d, nil
+}
+
+// rebuildSLO swaps in an engine compiled from h's rules (nil when h
+// has none) and deactivates the outgoing engine's alerts so a retired
+// rule cannot leave a stuck mmogdc_slo_alert_active series.
+func (d *Daemon) rebuildSLO(h HotConfig) error {
+	var eng *slo.Engine
+	if len(h.SLORules) > 0 {
+		var err error
+		eng, err = slo.NewEngine(h.SLORules, d.obs.Registry, d.obs.Recorder, d.order[0])
+		if err != nil {
+			return err
+		}
+	}
+	if old := d.slo.Swap(eng); old != nil {
+		old.Deactivate()
+	}
+	return nil
 }
 
 func (d *Daemon) newGame(spec GameSpec, hot HotConfig) (*game, error) {
@@ -249,6 +287,10 @@ func (d *Daemon) Reload(h HotConfig) error {
 		}
 		d.ecoMu.Unlock()
 	}
+	if !reflect.DeepEqual(old.SLORules, h.SLORules) {
+		// Cannot fail: Validate above already accepted the rules.
+		_ = d.rebuildSLO(h)
+	}
 	d.mReloadOK.Inc()
 	return nil
 }
@@ -276,13 +318,16 @@ var (
 // enqueue admits one observation into g's bounded queue, or reports
 // why it cannot: the daemon is draining, or the queue is full (the
 // caller sheds with 429 + Retry-After).
-func (d *Daemon) enqueue(g *game, values []float64) (int64, error) {
+func (d *Daemon) enqueue(g *game, values []float64, span obs.SpanID) (int64, error) {
 	g.qmu.RLock()
 	defer g.qmu.RUnlock()
 	if g.closed || d.draining.Load() {
 		return 0, errDraining
 	}
-	s := sample{values: values, enq: time.Now()}
+	// The obs clock (System by default) stamps admission so the
+	// queue-wait span and the observe-loop histogram share one
+	// timebase — and tests with a ManualClock get deterministic waits.
+	s := sample{values: values, span: span, enq: d.obs.Now()}
 	select {
 	case g.queue <- s:
 		tick := g.tick.Add(1)
@@ -319,6 +364,20 @@ func (d *Daemon) observeOne(g *game, s sample) {
 		ctx, cancel = context.WithTimeout(ctx, t)
 		defer cancel()
 	}
+	// With tracing on, close the request's queue-wait span and open
+	// the observe span; the operator picks the latter up from the
+	// context so its cycle/acquire spans chain to the request.
+	var obSpan *obs.Span
+	if trc := d.obs.Trc(); trc != nil {
+		deq := d.obs.Now()
+		trc.Complete(obs.SpanRec{
+			Name: "daemon.queue_wait", Cat: "daemon", Parent: s.span,
+			Subject: g.spec.Name, Start: s.enq, End: deq,
+		})
+		obSpan = trc.BeginAt("daemon.observe", "daemon", s.span, deq)
+		obSpan.SetSubject(g.spec.Name)
+		ctx = obs.ContextWithSpan(ctx, obSpan.ID())
+	}
 
 	d.ecoMu.Lock()
 	if p := hot.FaultDropoutProb; p > 0 {
@@ -328,6 +387,7 @@ func (d *Daemon) observeOne(g *game, s sample) {
 			}
 		}
 	}
+	vnow := g.now // this observation's virtual game time
 	err := g.op.ObserveCtx(ctx, g.now, s.values)
 	// Feed the circuit breaker while the scratch slices are still valid
 	// (GrantActivity aliases per-tick buffers the next Observe reuses).
@@ -360,7 +420,20 @@ func (d *Daemon) observeOne(g *game, s sample) {
 			g.mCkpt.Inc()
 		}
 	}
-	g.mLoop.Observe(time.Since(s.enq).Seconds())
+	// Evaluate the burn-rate rules on the observation's virtual clock
+	// (ticks-1 is this observation's tick index — the same axis the
+	// operator's sla_breach events use, so mmogaudit can score
+	// detection lag). Reading the registry outside ecoMu is safe: the
+	// instruments are atomics.
+	if eng := d.slo.Load(); eng != nil {
+		eng.Eval(g.spec.Name, ticks-1, vnow)
+	}
+	end := d.obs.Now()
+	if obSpan != nil {
+		obSpan.SetTick(ticks - 1)
+		obSpan.EndAt(end)
+	}
+	g.mLoop.Observe(end.Sub(s.enq).Seconds())
 	g.mQueueDepth.Set(float64(len(g.queue)))
 }
 

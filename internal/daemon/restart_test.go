@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -133,7 +134,7 @@ func TestReloadInvalidKeepsActiveConfig(t *testing.T) {
 	if err := d.Reload(bad); err == nil {
 		t.Fatal("Reload accepted fault_reject_prob = 1.5")
 	}
-	if d.Hot() != before {
+	if !reflect.DeepEqual(d.Hot(), before) {
 		t.Fatalf("rejected reload still swapped config: %+v", d.Hot())
 	}
 }
@@ -176,7 +177,7 @@ func TestConfigPostPartialMerge(t *testing.T) {
 	if code := decodeError(t, resp); code != "invalid_config" {
 		t.Fatalf("invalid config code %q", code)
 	}
-	if d.Hot() != after {
+	if !reflect.DeepEqual(d.Hot(), after) {
 		t.Fatalf("rejected POST still swapped config: %+v", d.Hot())
 	}
 
@@ -203,7 +204,7 @@ func TestConfigPostPartialMerge(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if got != d.Hot() {
+	if !reflect.DeepEqual(got, d.Hot()) {
 		t.Fatalf("GET /v1/config = %+v, want %+v", got, d.Hot())
 	}
 }

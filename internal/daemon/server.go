@@ -9,6 +9,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"mmogdc/internal/obs"
@@ -53,6 +54,50 @@ func (d *Daemon) rejected(code string) {
 	}
 	d.ecoMu.Unlock()
 	c.Inc()
+}
+
+// statusWriter captures the response status code for the per-endpoint
+// request histogram and the request span.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one /v1 endpoint with request-scoped telemetry:
+// the mmogdc_daemon_http_request_seconds{path,code} histogram, and —
+// when tracing is on — a daemon.request span parented under the
+// client's W3C traceparent header (mmogload sends one per request)
+// and stamped into the request context so the admission path can
+// chain the queue-wait and observe spans to it. The health probes are
+// deliberately not wrapped: a scraper hitting healthz every second
+// would pollute the series for zero diagnostic value.
+func (d *Daemon) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := d.obs.Now()
+		var span *obs.Span
+		if trc := d.obs.Trc(); trc != nil {
+			_, parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+			span = trc.BeginAt("daemon.request", "daemon", parent, start)
+			span.SetSubject(path)
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), span.ID()))
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		end := d.obs.Now()
+		d.obs.Registry.Histogram("mmogdc_daemon_http_request_seconds",
+			"HTTP request latency by /v1 endpoint and status code (healthz/readyz excluded).",
+			obs.TimeBuckets, obs.L("path", path), obs.L("code", strconv.Itoa(sw.code))).
+			Observe(end.Sub(start).Seconds())
+		if span != nil {
+			span.SetValue(float64(sw.code))
+			span.EndAt(end)
+		}
+	}
 }
 
 // ObserveRequest is the POST /v1/observe body: one monitoring snapshot
@@ -112,7 +157,7 @@ func (d *Daemon) handleObserve(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("region %q circuit is open after consecutive grant failures", g.region))
 		return
 	}
-	tick, err := d.enqueue(g, req.Values)
+	tick, err := d.enqueue(g, req.Values, obs.SpanFromContext(r.Context()))
 	switch {
 	case errors.Is(err, errDraining):
 		d.typedError(w, http.StatusServiceUnavailable, "draining", "daemon is draining; not admitting")
@@ -230,22 +275,22 @@ func (d *Daemon) handleConfigPost(w http.ResponseWriter, r *http.Request) {
 // pprof) as the fallback.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/observe", d.handleObserve)
-	mux.HandleFunc("GET /v1/forecast", d.handleForecast)
-	mux.HandleFunc("GET /v1/leases", d.handleLeases)
-	mux.HandleFunc("GET /v1/config", d.handleConfigGet)
-	mux.HandleFunc("POST /v1/config", d.handleConfigPost)
+	mux.HandleFunc("POST /v1/observe", d.instrument("/v1/observe", d.handleObserve))
+	mux.HandleFunc("GET /v1/forecast", d.instrument("/v1/forecast", d.handleForecast))
+	mux.HandleFunc("GET /v1/leases", d.instrument("/v1/leases", d.handleLeases))
+	mux.HandleFunc("GET /v1/config", d.instrument("/v1/config", d.handleConfigGet))
+	mux.HandleFunc("POST /v1/config", d.instrument("/v1/config", d.handleConfigPost))
 	// Method-less duplicates catch method confusion with a typed 405;
 	// without them the mux would fall through to the "/" pattern below
 	// and report a misleading 404 from the obs surface.
 	for path, allow := range map[string]string{
 		"/v1/observe": "POST", "/v1/forecast": "GET", "/v1/leases": "GET", "/v1/config": "GET, POST",
 	} {
-		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		mux.HandleFunc(path, d.instrument(path, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Allow", allow)
 			d.typedError(w, http.StatusMethodNotAllowed, "method_not_allowed",
 				fmt.Sprintf("%s does not allow %s", r.URL.Path, r.Method))
-		})
+		}))
 	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// This file carries span identity across API boundaries: through a
+// context.Context inside one process (daemon HTTP handler → ingest
+// queue → operator.ObserveCtx), and through the W3C trace-context
+// `traceparent` header between processes (mmogload → mmogd). Both
+// directions are nil-safe and free when tracing is off: callers only
+// stamp a context when they hold a live span, and SpanFromContext on
+// an unstamped context is a plain Value miss.
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx annotated with the given span ID as the
+// parent for spans begun downstream. A zero ID returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, id SpanID) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, id)
+}
+
+// SpanFromContext returns the span ID stored by ContextWithSpan, or 0.
+func SpanFromContext(ctx context.Context) SpanID {
+	if ctx == nil {
+		return 0
+	}
+	id, _ := ctx.Value(spanCtxKey{}).(SpanID)
+	return id
+}
+
+// PIDSpanBase returns a span-ID base namespacing this process's spans
+// by its PID for Tracer.SetIDBase. The shift is 24, not 32: Chrome
+// trace args round-trip through JSON float64, which is exact only up
+// to 2^53, and pid(<2^22)<<24 keeps every ID under 2^46 while leaving
+// room for 16M spans per process.
+func PIDSpanBase() SpanID {
+	return SpanID(os.Getpid()) << 24
+}
+
+// Traceparent renders a W3C trace-context header (version 00, sampled)
+// carrying the tracer's trace ID in the low 64 bits of the 128-bit
+// trace-id field and the given span as parent-id.
+func Traceparent(traceID uint64, span SpanID) string {
+	return fmt.Sprintf("00-%032x-%016x-01", traceID, uint64(span))
+}
+
+// ParseTraceparent extracts the low 64 bits of the trace ID and the
+// parent span ID from a traceparent header. Malformed or absent
+// headers return ok=false; a daemon then simply roots its own span.
+func ParseTraceparent(h string) (traceID uint64, parent SpanID, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 ||
+		len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return 0, 0, false
+	}
+	if parts[0] != "00" {
+		return 0, 0, false
+	}
+	// High 64 bits must still be valid hex even though we only keep
+	// the low half our uint64 trace IDs fit in.
+	if _, err := strconv.ParseUint(parts[1][:16], 16, 64); err != nil {
+		return 0, 0, false
+	}
+	tid, err := strconv.ParseUint(parts[1][16:], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	pid, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil || pid == 0 {
+		return 0, 0, false
+	}
+	if _, err := strconv.ParseUint(parts[3], 16, 8); err != nil {
+		return 0, 0, false
+	}
+	return tid, SpanID(pid), true
+}

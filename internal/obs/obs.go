@@ -16,6 +16,10 @@ type Obs struct {
 	// recording is heavier than counters, and a nil Tracer keeps the
 	// span call sites allocation-free.
 	Tracer *Tracer
+	// Runtime samples the Go runtime's self-telemetry when non-nil
+	// (EnableRuntimeMetrics); the HTTP handler refreshes it at scrape
+	// time. Off by default for the same reason tracing is.
+	Runtime *RuntimeSampler
 	// Clock times instrumented sections; nil falls back to System.
 	// Tests inject a ManualClock for deterministic latency histograms.
 	Clock Clock
@@ -38,6 +42,28 @@ func (o *Obs) EnableTracing(capacity int) *Tracer {
 	o.Tracer = NewTracer(capacity)
 	o.Tracer.Clock = o.Clock
 	return o.Tracer
+}
+
+// EnableRuntimeMetrics attaches a runtime/metrics-backed sampler
+// publishing GC pause, heap, goroutine, and scheduler-latency gauges
+// into the bundle's registry, timed by the bundle's clock, and
+// returns it. The obs HTTP handler samples it on every /metrics
+// scrape; callers may also Sample on their own cadence.
+func (o *Obs) EnableRuntimeMetrics() *RuntimeSampler {
+	if o == nil {
+		return nil
+	}
+	o.Runtime = NewRuntimeSampler(o.Registry, o.Clock)
+	return o.Runtime
+}
+
+// SampleRuntime refreshes the runtime gauges if the sampler is
+// enabled; a no-op otherwise.
+func (o *Obs) SampleRuntime() {
+	if o == nil {
+		return
+	}
+	o.Runtime.Sample()
 }
 
 // Reg returns the registry (nil when disabled).

@@ -47,6 +47,9 @@ const (
 	EventBrownoutEnd    = "brownout_end"      // capacity covers demand again; shedding disengaged
 	EventShed           = "shed"              // a zone's demand was shed in brownout (Value: players shed)
 	EventDeferred       = "failover_deferred" // storm control pushed a failover to a later tick (Value: retry tick)
+
+	// SLO engine kind (PR 9).
+	EventSLOAlert = "slo_alert" // a burn-rate rule fired or resolved (Subject: rule, Detail: "firing"/"resolved", Value: short-window burn)
 )
 
 // Recorder is a bounded ring buffer of Events — the flight recorder.

@@ -312,6 +312,25 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// CountAtOrBelow returns the cumulative count of observations that
+// landed in buckets whose upper bound is <= bound — the histogram's
+// best answer to "how many observations met this latency objective".
+// The objective is effectively rounded down to the nearest bucket
+// boundary; SLO burn-rate rules over latency histograms read this.
+func (h *Histogram) CountAtOrBelow(bound float64) int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i, b := range h.bounds {
+		if b > bound {
+			return n
+		}
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
 // snapshotCounts returns per-bucket (non-cumulative) counts, the +Inf
 // bucket last.
 func (h *Histogram) snapshotCounts() []int64 {

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// RuntimeSampler exports the Go runtime's own health — heap size, GC
+// pause distribution, goroutine count, scheduler latency — as gauges
+// in the bundle's registry, read from the stdlib runtime/metrics
+// interface. The daemon's obs handler samples it at /metrics scrape
+// time, and the last-sample gauge is stamped from the bundle's
+// injected clock so tests see deterministic sample times. Like every
+// other instrument the sampler is write-only telemetry: nothing in
+// the provisioning path reads it back.
+type RuntimeSampler struct {
+	clock   Clock
+	samples []metrics.Sample
+
+	heapBytes  *Gauge
+	totalBytes *Gauge
+	goroutines *Gauge
+	gcCycles   *Gauge
+	gcPauseP50 *Gauge
+	gcPauseP99 *Gauge
+	gcPauseMax *Gauge
+	schedP50   *Gauge
+	schedP99   *Gauge
+	schedMax   *Gauge
+	lastUnix   *Gauge
+	count      *Counter
+}
+
+// The runtime/metrics names sampled. Histogram-valued metrics are
+// reduced to p50/p99/max gauges (full runtime histograms would bloat
+// the exposition for little diagnostic gain).
+const (
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmTotalBytes = "/memory/classes/total:bytes"
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPauses   = "/gc/pauses:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+// NewRuntimeSampler registers the runtime gauges in r and returns a
+// sampler timed by clock (nil falls back to System). Gauges stay zero
+// until the first Sample call.
+func NewRuntimeSampler(r *Registry, clock Clock) *RuntimeSampler {
+	names := []string{rmHeapBytes, rmTotalBytes, rmGoroutines, rmGCCycles, rmGCPauses, rmSchedLat}
+	s := &RuntimeSampler{clock: clock, samples: make([]metrics.Sample, len(names))}
+	for i, n := range names {
+		s.samples[i].Name = n
+	}
+	s.heapBytes = r.Gauge("mmogdc_runtime_heap_bytes",
+		"Bytes of live heap objects (runtime/metrics "+rmHeapBytes+").")
+	s.totalBytes = r.Gauge("mmogdc_runtime_total_bytes",
+		"Total bytes of memory mapped by the Go runtime.")
+	s.goroutines = r.Gauge("mmogdc_runtime_goroutines",
+		"Live goroutine count.")
+	s.gcCycles = r.Gauge("mmogdc_runtime_gc_cycles_total",
+		"Completed GC cycles since process start.")
+	s.gcPauseP50 = r.Gauge("mmogdc_runtime_gc_pause_seconds", "GC stop-the-world pause quantiles.", L("q", "0.5"))
+	s.gcPauseP99 = r.Gauge("mmogdc_runtime_gc_pause_seconds", "GC stop-the-world pause quantiles.", L("q", "0.99"))
+	s.gcPauseMax = r.Gauge("mmogdc_runtime_gc_pause_seconds", "GC stop-the-world pause quantiles.", L("q", "max"))
+	s.schedP50 = r.Gauge("mmogdc_runtime_sched_latency_seconds", "Goroutine scheduling latency quantiles.", L("q", "0.5"))
+	s.schedP99 = r.Gauge("mmogdc_runtime_sched_latency_seconds", "Goroutine scheduling latency quantiles.", L("q", "0.99"))
+	s.schedMax = r.Gauge("mmogdc_runtime_sched_latency_seconds", "Goroutine scheduling latency quantiles.", L("q", "max"))
+	s.lastUnix = r.Gauge("mmogdc_runtime_last_sample_unix_seconds",
+		"Clock time of the most recent runtime sample.")
+	s.count = r.Counter("mmogdc_runtime_samples_total",
+		"Runtime self-telemetry samples taken.")
+	return s
+}
+
+// Sample reads the runtime metrics and publishes them. Safe for
+// concurrent use (runtime/metrics.Read is) and on a nil receiver.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	metrics.Read(s.samples)
+	for _, m := range s.samples {
+		switch m.Name {
+		case rmHeapBytes:
+			s.heapBytes.Set(float64(m.Value.Uint64()))
+		case rmTotalBytes:
+			s.totalBytes.Set(float64(m.Value.Uint64()))
+		case rmGoroutines:
+			s.goroutines.Set(float64(m.Value.Uint64()))
+		case rmGCCycles:
+			s.gcCycles.Set(float64(m.Value.Uint64()))
+		case rmGCPauses:
+			p50, p99, max := histQuantiles(m.Value.Float64Histogram())
+			s.gcPauseP50.Set(p50)
+			s.gcPauseP99.Set(p99)
+			s.gcPauseMax.Set(max)
+		case rmSchedLat:
+			p50, p99, max := histQuantiles(m.Value.Float64Histogram())
+			s.schedP50.Set(p50)
+			s.schedP99.Set(p99)
+			s.schedMax.Set(max)
+		}
+	}
+	clock := s.clock
+	if clock == nil {
+		clock = System
+	}
+	s.lastUnix.Set(float64(clock.Now().UnixNano()) / 1e9)
+	s.count.Inc()
+}
+
+// histQuantiles reduces a runtime Float64Histogram to approximate
+// p50/p99/max, reporting each as the upper edge of the bucket the
+// quantile falls in (the lower edge for the unbounded last bucket).
+func histQuantiles(h *metrics.Float64Histogram) (p50, p99, max float64) {
+	if h == nil || len(h.Counts) == 0 {
+		return 0, 0, 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	edge := func(i int) float64 {
+		// Bucket i spans Buckets[i]..Buckets[i+1]; clamp the open-ended
+		// edges to the nearest finite boundary.
+		hi := h.Buckets[i+1]
+		if math.IsInf(hi, 0) {
+			hi = h.Buckets[i]
+		}
+		if math.IsInf(hi, 0) {
+			return 0
+		}
+		return hi
+	}
+	at := func(q float64) float64 {
+		want := uint64(q * float64(total))
+		if want == 0 {
+			want = 1
+		}
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			if cum >= want {
+				return edge(i)
+			}
+		}
+		return edge(len(h.Counts) - 1)
+	}
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			max = edge(i)
+			break
+		}
+	}
+	return at(0.50), at(0.99), max
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerPublishesGauges(t *testing.T) {
+	o := New()
+	o.Clock = NewManualClock(time.Unix(1000, 0), 0)
+	s := o.EnableRuntimeMetrics()
+	if s == nil || o.Runtime != s {
+		t.Fatal("EnableRuntimeMetrics did not attach the sampler")
+	}
+	runtime.GC() // guarantee at least one completed GC cycle
+	o.SampleRuntime()
+
+	reg := o.Registry
+	if v := reg.Gauge("mmogdc_runtime_heap_bytes", "").Value(); v <= 0 {
+		t.Fatalf("heap bytes = %v", v)
+	}
+	if v := reg.Gauge("mmogdc_runtime_goroutines", "").Value(); v < 1 {
+		t.Fatalf("goroutines = %v", v)
+	}
+	if v := reg.Gauge("mmogdc_runtime_gc_cycles_total", "").Value(); v < 1 {
+		t.Fatalf("gc cycles = %v", v)
+	}
+	if v := reg.Counter("mmogdc_runtime_samples_total", "").Value(); v != 1 {
+		t.Fatalf("samples counter = %d", v)
+	}
+	// Stamped from the injected clock, not the wall clock.
+	if v := reg.Gauge("mmogdc_runtime_last_sample_unix_seconds", "").Value(); v != 1000 {
+		t.Fatalf("last sample stamp = %v, want 1000", v)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mmogdc_runtime_gc_pause_seconds{q=\"0.99\"}",
+		"mmogdc_runtime_sched_latency_seconds{q=\"max\"}",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition missing %s:\n%s", want, sb.String())
+		}
+	}
+
+	var disabled *Obs
+	disabled.SampleRuntime() // nil bundle: no-op
+	(&Obs{Registry: NewRegistry()}).SampleRuntime()
+}
+
+func TestHistQuantilesDegenerate(t *testing.T) {
+	if p50, p99, max := histQuantiles(nil); p50 != 0 || p99 != 0 || max != 0 {
+		t.Fatalf("nil hist -> %v %v %v", p50, p99, max)
+	}
+}

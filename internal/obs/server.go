@@ -49,6 +49,7 @@ func (o *Obs) Handler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		o.SyncRecorderGauges()
+		o.SampleRuntime()
 		o.Reg().WritePrometheus(w)
 	})
 	// Encode failures (usually the scraper hanging up mid-response) are

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -191,5 +192,67 @@ func TestSlowClientEvicted(t *testing.T) {
 		if _, err := io.ReadAll(conn); err != nil {
 			t.Fatalf("read after eviction: %v", err)
 		}
+	}
+}
+
+// TestEventsCombinedFiltersAfterWrap drives ?kind= and ?since=
+// together over a recorder whose ring has wrapped: the filters apply
+// to the retained window only, while total/dropped keep reporting the
+// full history, so a consumer can tell "no matches" from "matches
+// already overwritten".
+func TestEventsCombinedFiltersAfterWrap(t *testing.T) {
+	o := &Obs{Registry: NewRegistry(), Recorder: NewRecorder(8), Clock: System}
+	// 20 events, alternating kinds; the ring keeps ticks 12..19.
+	for i := 0; i < 20; i++ {
+		kind := EventGrant
+		if i%2 == 1 {
+			kind = EventRejection
+		}
+		o.Recorder.Record(Event{Tick: i, Kind: kind, Subject: "g"})
+	}
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	fetch := func(path string) (total, dropped uint64, matched int, events []Event) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s -> %d", path, resp.StatusCode)
+		}
+		var doc struct {
+			Total   uint64  `json:"total"`
+			Dropped uint64  `json:"dropped"`
+			Matched int     `json:"matched"`
+			Events  []Event `json:"events"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc.Total, doc.Dropped, doc.Matched, doc.Events
+	}
+
+	// Retained grants are ticks 12, 14, 16, 18; since=15 keeps 16, 18.
+	total, dropped, matched, events := fetch("/events?kind=grant&since=15")
+	if total != 20 || dropped != 12 {
+		t.Fatalf("total=%d dropped=%d, want 20/12", total, dropped)
+	}
+	if matched != 2 || len(events) != 2 ||
+		events[0].Tick != 16 || events[1].Tick != 18 {
+		t.Fatalf("combined filter after wrap: matched=%d events=%+v", matched, events)
+	}
+	for _, e := range events {
+		if e.Kind != EventGrant {
+			t.Fatalf("kind filter leaked %q", e.Kind)
+		}
+	}
+	// since pointing below the retained window matches everything kept
+	// of that kind — overwritten events are reported via dropped, not
+	// resurrected.
+	if _, _, matched, _ := fetch("/events?kind=rejection&since=0"); matched != 4 {
+		t.Fatalf("rejection since=0 matched %d, want 4", matched)
 	}
 }

@@ -111,6 +111,21 @@ func (t *Tracer) emit(rec SpanRec) SpanID {
 	return id
 }
 
+// SetIDBase starts span-ID allocation at base+1. Processes that will
+// have their traces merged (mmogload's client trace with mmogd's
+// server trace) call this with a per-process prefix — see PIDSpanBase
+// — so span IDs never collide across the merged timeline. Call it
+// before the first span is begun; it does not renumber existing
+// records.
+func (t *Tracer) SetIDBase(base SpanID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.nextID = base
+	t.mu.Unlock()
+}
+
 // allocID hands out the next span ID.
 func (t *Tracer) allocID() SpanID {
 	t.mu.Lock()

@@ -107,14 +107,27 @@ func (oo *opObs) lostJoinedDetail(lost []string) string {
 }
 
 // beginObserve opens one Observe cycle's span at the cycle's already-
-// measured start.
-func (oo *opObs) beginObserve(start time.Time, tick int) {
+// measured start, parented under the caller's span (the daemon's
+// per-request observe span; 0 roots the cycle as before).
+func (oo *opObs) beginObserve(start time.Time, tick int, parent obs.SpanID) {
 	if oo == nil || oo.o.Tracer == nil {
 		return
 	}
-	oo.cur = oo.o.Tracer.BeginAt("operator.observe", "operator", 0, start)
+	oo.cur = oo.o.Tracer.BeginAt("operator.observe", "operator", parent, start)
 	oo.cur.SetSubject(oo.game)
 	oo.cur.SetTick(tick)
+}
+
+// beginAcquire opens the lease-acquisition child span of the live
+// Observe cycle (nil when tracing is off; Span methods no-op on nil).
+func (oo *opObs) beginAcquire(tick int) *obs.Span {
+	if oo == nil || oo.o.Tracer == nil {
+		return nil
+	}
+	s := oo.o.Tracer.Begin("operator.acquire", "operator", oo.cur.ID())
+	s.SetSubject(oo.game)
+	s.SetTick(tick)
+	return s
 }
 
 // span returns the live Observe span's ID (zero when tracing is off).

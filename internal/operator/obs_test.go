@@ -1,6 +1,7 @@
 package operator
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -83,5 +84,73 @@ func TestObsBridgesMetrics(t *testing.T) {
 	}
 	if !sawDrop {
 		t.Error("flight recorder has no dropped-sample events")
+	}
+}
+
+// TestObserveCtxSpanParent pins the request-tracing contract: a span
+// ID stamped into the context (by the daemon's per-request span)
+// becomes the parent of the operator.observe cycle span, and the
+// operator.acquire span is that cycle's child — so a merged trace
+// chains client request -> daemon -> observe -> acquire.
+func TestObserveCtxSpanParent(t *testing.T) {
+	o := obs.New()
+	o.Clock = obs.NewManualClock(t0, time.Millisecond)
+	o.EnableTracing(0)
+	op, err := New(Config{
+		Game:      mmog.NewGame("op", mmog.GenreMMORPG),
+		Origin:    geo.London,
+		Predictor: predict.NewLastValue(),
+		Matcher:   testMatcher(10),
+		Obs:       o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const reqSpan = obs.SpanID(7777)
+	ctx := obs.ContextWithSpan(context.Background(), reqSpan)
+	// First observe with real demand: forecasts a shortfall and must
+	// acquire leases, producing the acquire span.
+	if err := op.ObserveCtx(ctx, t0, []float64{800, 600, 400}); err != nil {
+		t.Fatal(err)
+	}
+
+	var observe, acquire *obs.SpanRec
+	for _, r := range o.Tracer.Records() {
+		r := r
+		switch r.Name {
+		case "operator.observe":
+			observe = &r
+		case "operator.acquire":
+			acquire = &r
+		}
+	}
+	if observe == nil || acquire == nil {
+		t.Fatalf("missing spans: observe=%v acquire=%v", observe, acquire)
+	}
+	if observe.Parent != reqSpan {
+		t.Fatalf("operator.observe parent = %d, want %d", observe.Parent, reqSpan)
+	}
+	if acquire.Parent != observe.ID {
+		t.Fatalf("operator.acquire parent = %d, want observe span %d", acquire.Parent, observe.ID)
+	}
+	if acquire.Value < 1 {
+		t.Fatalf("acquire span value (leases won) = %v, want >= 1", acquire.Value)
+	}
+
+	// Without a stamped context the cycle stays a root span.
+	if err := op.ObserveCtx(context.Background(), t0.Add(2*time.Minute), []float64{800, 600, 400}); err != nil {
+		t.Fatal(err)
+	}
+	recs := o.Tracer.Records()
+	last := recs[len(recs)-1]
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Name == "operator.observe" {
+			last = recs[i]
+			break
+		}
+	}
+	if last.Parent != 0 {
+		t.Fatalf("unstamped observe cycle has parent %d", last.Parent)
 	}
 }

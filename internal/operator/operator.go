@@ -210,7 +210,10 @@ func (o *Operator) ObserveCtx(ctx context.Context, now time.Time, zoneLoads []fl
 	o.lastRejected = nil
 
 	start := o.oo.now()
-	o.oo.beginObserve(start, o.ticks)
+	// When the daemon traced the originating request it stamps the
+	// context with its observe span; this cycle's span (and through it
+	// every acquire/event span) then hangs off that request.
+	o.oo.beginObserve(start, o.ticks, obs.SpanFromContext(ctx))
 	defer o.oo.observed(start)
 	o.cfg.Matcher.Expire(now)
 
@@ -301,6 +304,7 @@ func (o *Operator) ObserveCtx(ctx context.Context, now time.Time, zoneLoads []fl
 		o.retries++
 		o.oo.retried(o.ticks, o.cfg.Game.Name)
 	}
+	acq := o.oo.beginAcquire(o.ticks)
 	leases, unmet, out := o.cfg.Matcher.AllocateDetailed(ecosystem.Request{
 		Tag:           o.cfg.Game.Name,
 		Origin:        o.cfg.Origin,
@@ -308,6 +312,8 @@ func (o *Operator) ObserveCtx(ctx context.Context, now time.Time, zoneLoads []fl
 		Demand:        need,
 		Exclude:       lost,
 	}, now)
+	acq.SetValue(float64(len(leases)))
+	acq.End()
 	o.leases = append(o.leases, leases...)
 	for _, l := range leases {
 		o.lastGranted = append(o.lastGranted, l.Center.Name)

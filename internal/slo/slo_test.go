@@ -1,0 +1,232 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mmogdc/internal/obs"
+)
+
+var t0 = time.Date(2008, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func breachRule(short, long float64) RuleConfig {
+	return RuleConfig{
+		Name: "breach", Signal: SignalBreachRate, Game: "g",
+		Objective: 0.01, ShortWindowS: short, LongWindowS: long, BurnFactor: 1,
+	}
+}
+
+func TestValidateRules(t *testing.T) {
+	good := breachRule(60, 600)
+	if err := ValidateRules([]RuleConfig{good}); err != nil {
+		t.Fatal(err)
+	}
+	bad := []RuleConfig{
+		{},
+		{Name: "x", Signal: "nope", Objective: 0.1, ShortWindowS: 1, LongWindowS: 2},
+		{Name: "x", Signal: SignalShedRate, Objective: 0, ShortWindowS: 1, LongWindowS: 2},
+		{Name: "x", Signal: SignalShedRate, Objective: 1, ShortWindowS: 1, LongWindowS: 2},
+		{Name: "x", Signal: SignalShedRate, Objective: 0.1, ShortWindowS: 0, LongWindowS: 2},
+		{Name: "x", Signal: SignalShedRate, Objective: 0.1, ShortWindowS: 2, LongWindowS: 2},
+		{Name: "x", Signal: SignalObserveLatency, Objective: 0.1, ShortWindowS: 1, LongWindowS: 2},
+	}
+	for i, rc := range bad {
+		if err := ValidateRules([]RuleConfig{rc}); err == nil {
+			t.Errorf("bad rule %d accepted: %+v", i, rc)
+		}
+	}
+	if err := ValidateRules([]RuleConfig{good, good}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate names accepted: %v", err)
+	}
+}
+
+// A sustained full-burn signal must fire on the second evaluation —
+// the first reading is only a baseline — even though the long window
+// is far from full: detection lag is what the engine exists to
+// minimize.
+func TestEngineFiresFastAndResolves(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(0)
+	lg := obs.L("game", "g")
+	badC := reg.Counter("mmogdc_operator_disruptive_ticks_total", "", lg)
+	ticksC := reg.Counter("mmogdc_operator_ticks_total", "", lg)
+
+	e, err := NewEngine([]RuleConfig{breachRule(3, 60)}, reg, rec, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := t0
+	stepBad := func(tick int) {
+		ticksC.Inc()
+		badC.Inc()
+		e.Eval("g", tick, now)
+		now = now.Add(time.Second)
+	}
+	stepGood := func(tick int) {
+		ticksC.Inc()
+		e.Eval("g", tick, now)
+		now = now.Add(time.Second)
+	}
+
+	stepBad(0)
+	if got := e.Firing(); len(got) != 0 {
+		t.Fatalf("fired on the baseline reading: %v", got)
+	}
+	stepBad(1)
+	if got := e.Firing(); len(got) != 1 || got[0] != "breach" {
+		t.Fatalf("not firing after 2 bad ticks: %v", got)
+	}
+	if v := reg.Gauge("mmogdc_slo_alert_active", "", obs.L("rule", "breach")).Value(); v != 1 {
+		t.Fatalf("active gauge = %v, want 1", v)
+	}
+
+	// Recovery: once the short window holds only good ticks the alert
+	// resolves, regardless of the still-burning long window.
+	for tick := 2; tick < 7; tick++ {
+		stepGood(tick)
+	}
+	if got := e.Firing(); len(got) != 0 {
+		t.Fatalf("still firing after recovery: %v", got)
+	}
+	if v := reg.Gauge("mmogdc_slo_alert_active", "", obs.L("rule", "breach")).Value(); v != 0 {
+		t.Fatalf("active gauge = %v, want 0", v)
+	}
+
+	var firing, resolved []obs.Event
+	for _, ev := range rec.Events() {
+		if ev.Kind != obs.EventSLOAlert {
+			continue
+		}
+		switch ev.Detail {
+		case "firing":
+			firing = append(firing, ev)
+		case "resolved":
+			resolved = append(resolved, ev)
+		}
+	}
+	if len(firing) != 1 || firing[0].Tick != 1 || firing[0].Subject != "breach" {
+		t.Fatalf("firing events: %+v", firing)
+	}
+	if len(resolved) != 1 || resolved[0].Tick <= firing[0].Tick {
+		t.Fatalf("resolved events: %+v", resolved)
+	}
+	if firing[0].Value < 1 {
+		t.Fatalf("firing burn = %v, want >= factor 1", firing[0].Value)
+	}
+}
+
+// A transient blip must not fire: the short window burns but the long
+// window dilutes it below the factor.
+func TestEngineLongWindowSuppressesBlips(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(0)
+	lg := obs.L("game", "g")
+	badC := reg.Counter("mmogdc_operator_disruptive_ticks_total", "", lg)
+	ticksC := reg.Counter("mmogdc_operator_ticks_total", "", lg)
+
+	// Objective 0.5 with burn factor 2: fire only when essentially
+	// every tick in BOTH windows is bad.
+	rule := RuleConfig{Name: "r", Signal: SignalBreachRate, Game: "g",
+		Objective: 0.5, ShortWindowS: 2, LongWindowS: 10, BurnFactor: 2}
+	e, err := NewEngine([]RuleConfig{rule}, reg, rec, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := t0
+	for tick := 0; tick < 20; tick++ {
+		ticksC.Inc()
+		if tick == 10 { // one bad tick in twenty
+			badC.Inc()
+		}
+		e.Eval("g", tick, now)
+		now = now.Add(time.Second)
+	}
+	if got := e.Firing(); len(got) != 0 {
+		t.Fatalf("blip fired the alert: %v", got)
+	}
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.EventSLOAlert {
+			t.Fatalf("unexpected alert event: %+v", ev)
+		}
+	}
+}
+
+func TestEngineLatencySignal(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(0)
+	lg := obs.L("game", "g")
+	h := reg.Histogram("mmogdc_daemon_observe_loop_seconds", "", obs.TimeBuckets, lg)
+
+	rule := RuleConfig{Name: "slow", Signal: SignalObserveLatency, Game: "g",
+		Objective: 0.1, LatencyObjectiveMS: 100, ShortWindowS: 2, LongWindowS: 8}
+	e, err := NewEngine([]RuleConfig{rule}, reg, rec, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := t0
+	// Baseline of fast loops, then a run of slow ones.
+	for tick := 0; tick < 10; tick++ {
+		if tick < 4 {
+			h.Observe(0.001)
+		} else {
+			h.Observe(1.5) // far over the 100ms objective
+		}
+		e.Eval("g", tick, now)
+		now = now.Add(time.Second)
+	}
+	if got := e.Firing(); len(got) != 1 {
+		t.Fatalf("latency rule not firing: %v", got)
+	}
+}
+
+func TestEngineDefaultGameAndDeactivate(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(0)
+	lg := obs.L("game", "live")
+	badC := reg.Counter("mmogdc_operator_disruptive_ticks_total", "", lg)
+	ticksC := reg.Counter("mmogdc_operator_ticks_total", "", lg)
+
+	rule := breachRule(2, 8)
+	rule.Game = "" // resolves to the default game
+	e, err := NewEngine([]RuleConfig{rule}, reg, rec, "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := t0
+	for tick := 0; tick < 3; tick++ {
+		ticksC.Inc()
+		badC.Inc()
+		e.Eval("live", tick, now)
+		now = now.Add(time.Second)
+	}
+	if got := e.Firing(); len(got) != 1 {
+		t.Fatalf("default-game rule not firing: %v", got)
+	}
+	e.Deactivate()
+	if got := e.Firing(); len(got) != 0 {
+		t.Fatalf("Deactivate left rules firing: %v", got)
+	}
+	if v := reg.Gauge("mmogdc_slo_alert_active", "", obs.L("rule", "breach")).Value(); v != 0 {
+		t.Fatalf("active gauge = %v after Deactivate", v)
+	}
+}
+
+func TestEngineNilSafety(t *testing.T) {
+	var e *Engine
+	e.Eval("g", 0, t0)
+	e.Deactivate()
+	if e.Firing() != nil {
+		t.Fatal("nil engine firing")
+	}
+}
+
+func TestNewEngineRejectsBadRules(t *testing.T) {
+	if _, err := NewEngine([]RuleConfig{{Name: "x"}}, obs.NewRegistry(), nil, "g"); err == nil {
+		t.Fatal("invalid rule compiled")
+	}
+}

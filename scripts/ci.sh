@@ -51,3 +51,10 @@ sh scripts/obs_smoke.sh
 # kill -9), hot reload (HTTP + SIGHUP), 10x overload shedding with
 # 429s, the blown-drain hard exit, and the mmogaudit load report.
 sh scripts/daemon_smoke.sh
+
+# SLO + tracing smoke: a forced breach under an armed burn-rate alert
+# with end-to-end traceparent propagation; mmogaudit merges the client
+# and server traces, scores the alert against ground truth (perfect
+# precision/recall, detection lag <= 2 ticks), and a rules-off control
+# run must answer byte-identically (write-only telemetry).
+sh scripts/slo_smoke.sh

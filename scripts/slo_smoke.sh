@@ -1,0 +1,146 @@
+#!/usr/bin/env sh
+# SLO + tracing smoke: the request-scoped observability stack end to
+# end, single-CPU cheap.
+#
+#   1. mmogd runs with an armed breach-rate burn alert and 100% grant
+#      rejection (a forced, unambiguous SLA-breach episode) plus
+#      tracing; mmogload drives it with traceparent propagation and a
+#      client-side trace.
+#   2. The flight recorder must show the alert firing (slo_alert).
+#   3. mmogaudit merges the two traces, scores the alert against the
+#      breach episodes, and must report perfect precision/recall with
+#      detection lag <= 2 ticks — gated by -fail-on-missed-breach.
+#   4. A control daemon with identical faults but NO rules must produce
+#      a byte-identical /v1/forecast answer (write-only telemetry).
+#
+# Latency numbers are reported, never gated — wall-clock on a loaded
+# single-CPU box is noise (see scripts/benchgate for the same stance).
+set -eu
+cd "$(dirname "$0")/.."
+
+d=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$d"
+}
+trap cleanup EXIT
+
+go build -race -o "$d/mmogd" ./cmd/mmogd
+go build -o "$d/mmogload" ./cmd/mmogload
+go build -o "$d/mmogaudit" ./cmd/mmogaudit
+go build -o "$d/scrape" ./scripts/scrape
+
+if command -v curl > /dev/null 2>&1; then
+    fetch() { curl -sf "$1"; }
+else
+    fetch() { "$d/scrape" "$1"; }
+fi
+
+start_daemon() {
+    errfile=$1
+    shift
+    "$d/mmogd" -addr 127.0.0.1:0 "$@" 2> "$errfile" &
+    pid=$!
+    i=0
+    while ! grep -q '^daemon: serving http on ' "$errfile" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "slo-smoke: daemon never came up" >&2
+            cat "$errfile" >&2
+            exit 1
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "slo-smoke: daemon died at startup" >&2
+            cat "$errfile" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    addr=$(sed -n 's/^daemon: serving http on //p' "$errfile" | head -n 1)
+}
+
+# Hot config: every grant attempt rejected (the forced breach) and a
+# breach-rate burn alert over a 3s/12s window pair on the 1s virtual
+# tick — both windows saturate within a few ticks.
+cat > "$d/hot.json" <<'EOF'
+{
+  "tick_seconds": 1,
+  "observe_timeout_ms": 2000,
+  "fault_reject_prob": 1,
+  "fault_seed": 1,
+  "slo_rules": [
+    {
+      "name": "breach-burn",
+      "signal": "breach_rate",
+      "objective": 0.01,
+      "short_window_s": 3,
+      "long_window_s": 12,
+      "burn_factor": 1
+    }
+  ]
+}
+EOF
+
+# --- Phase 1: traced load against the armed, faulted daemon -----------
+start_daemon "$d/p1.err" -games live -config "$d/hot.json" \
+    -obs-events "$d/events.jsonl" -trace-out "$d/server.trace"
+"$d/mmogload" -addr "$addr" -game live -grid 6 -entities 400 \
+    -interval 10ms -n 30 -rate 1 \
+    -trace-out "$d/client.trace" -o "$d/load.json" > "$d/load.out"
+grep -q 'accepted=30' "$d/load.out"
+grep -q 'rtt_ms\[accepted\] n=30' "$d/load.out"
+fetch "http://$addr/v1/forecast?game=live" > "$d/forecast.json"
+# Runtime self-telemetry is on by default and must be on /metrics.
+fetch "http://$addr/metrics" > "$d/metrics.txt"
+grep -q '^mmogdc_runtime_heap_bytes ' "$d/metrics.txt"
+grep -Eq '^mmogdc_runtime_gc_pause_seconds\{q="0.99"\} ' "$d/metrics.txt"
+grep -Eq '^mmogdc_slo_alert_active\{rule="breach-burn"\} 1$' "$d/metrics.txt"
+kill -TERM "$pid"
+wait "$pid" || { echo "slo-smoke: drain failed" >&2; cat "$d/p1.err" >&2; exit 1; }
+pid=""
+grep -q '^daemon: drain complete' "$d/p1.err"
+
+# --- Phase 2: the alert fired into the flight recorder ----------------
+grep -q '"kind":"slo_alert"' "$d/events.jsonl"
+grep -q '"detail":"firing"' "$d/events.jsonl"
+
+# --- Phase 3: cross-process audit with the alert-quality gate ---------
+"$d/mmogaudit" -events "$d/events.jsonl" \
+    -trace "$d/server.trace" -client-trace "$d/client.trace" \
+    -merged-trace-out "$d/merged.trace" \
+    -load "$d/load.json" -fail-on-missed-breach -o "$d/audit.md"
+grep -q '^# mmogdc provisioning audit' "$d/audit.md"
+grep -q 'precision 1.000  recall 1.000' "$d/audit.md"
+grep -Eq 'detection lag ticks: mean [0-9.]+  max [0-2]$' "$d/audit.md"
+# 30 observes match end to end; the server count also includes the
+# instrumented GETs the smoke itself issued (forecast), so only the
+# client side is pinned.
+grep -Eq 'matched requests: 30 \(client 30, server [0-9]+\)' "$d/audit.md"
+grep -q 'daemon.queue_wait' "$d/audit.md"
+grep -q '"traceEvents"' "$d/merged.trace"
+# The merged timeline carries both processes: client spans on pid 2,
+# server spans on pid 1.
+grep -q '"name":"client.request"' "$d/merged.trace"
+grep -q '"name":"daemon.request"' "$d/merged.trace"
+
+# --- Phase 4: telemetry is write-only — same run, no rules, no
+# tracing, byte-identical forecast ------------------------------------
+cat > "$d/hot_off.json" <<'EOF'
+{
+  "tick_seconds": 1,
+  "observe_timeout_ms": 2000,
+  "fault_reject_prob": 1,
+  "fault_seed": 1
+}
+EOF
+start_daemon "$d/p4.err" -games live -config "$d/hot_off.json" -runtime-metrics=false
+"$d/mmogload" -addr "$addr" -game live -grid 6 -entities 400 \
+    -interval 10ms -n 30 -rate 1 > /dev/null
+fetch "http://$addr/v1/forecast?game=live" > "$d/forecast_off.json"
+kill -TERM "$pid"
+wait "$pid" || true
+pid=""
+cmp "$d/forecast.json" "$d/forecast_off.json"
+
+echo "slo-smoke: ok"
