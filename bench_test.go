@@ -189,7 +189,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 	})
 
-	runBench := func(b *testing.B, o func() *obs.Obs) {
+	runBench := func(b *testing.B, prov int, o func() *obs.Obs) {
 		b.Helper()
 		ds := trace.Generate(trace.Config{Seed: 7, Days: 1})
 		game := mmog.NewGame("bench", mmog.GenreMMORPG)
@@ -198,18 +198,22 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			cfg := core.Config{
-				Workers:   2,
-				Centers:   datacenter.BuildCenters(datacenter.TableIIISites(), datacenter.Policies()[:2]),
-				Workloads: []core.Workload{{Game: game, Dataset: ds, Predictor: factory}},
-				Obs:       o(),
+				Workers:    2,
+				Centers:    datacenter.BuildCenters(datacenter.TableIIISites(), datacenter.Policies()[:2]),
+				Workloads:  []core.Workload{{Game: game, Dataset: ds, Predictor: factory}},
+				Obs:        o(),
+				Provenance: prov,
 			}
 			if _, err := core.Run(cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
-	b.Run("run-off", func(b *testing.B) { runBench(b, func() *obs.Obs { return nil }) })
-	b.Run("run-on", func(b *testing.B) { runBench(b, obs.New) })
+	b.Run("run-off", func(b *testing.B) { runBench(b, 0, func() *obs.Obs { return nil }) })
+	b.Run("run-on", func(b *testing.B) { runBench(b, 0, obs.New) })
+	// Decision provenance on top of full instrumentation (DESIGN.md
+	// §15): the decision log's steady-state recording cost.
+	b.Run("run-provenance", func(b *testing.B) { runBench(b, 256, obs.New) })
 }
 
 // ---- substrate micro-benchmarks ----

@@ -33,6 +33,10 @@ func main() {
 			"exit 1 when any SLA-breach episode has no attributable root cause")
 		failMissed = flag.Bool("fail-on-missed-breach", false,
 			"exit 1 when a breach episode fired no SLO alert (or no engine was armed at all)")
+		failDrops = flag.Bool("fail-on-drops", false,
+			"exit 1 on degraded telemetry: the recorder ring overwrote events or the event sink errored (needs -metrics)")
+		failUnexplained = flag.Bool("fail-on-unexplained", false,
+			"exit 1 when a breach episode's decision chain is incomplete (or the stream has episodes but no decision provenance at all)")
 	)
 	flag.Parse()
 
@@ -162,6 +166,23 @@ func main() {
 		case a != nil && a.Detected < a.Episodes:
 			fmt.Fprintf(os.Stderr, "mmogaudit: %d of %d breach episode(s) fired no SLO alert\n",
 				a.Episodes-a.Detected, a.Episodes)
+			os.Exit(1)
+		}
+	}
+	if *failDrops && (report.Recorder.Dropped > 0 || report.Recorder.SinkErrs > 0) {
+		fmt.Fprintf(os.Stderr, "mmogaudit: degraded telemetry — %d event(s) overwritten by the recorder ring, %d sink error(s)\n",
+			report.Recorder.Dropped, report.Recorder.SinkErrs)
+		os.Exit(1)
+	}
+	if *failUnexplained {
+		switch {
+		case !report.HasDecisions && len(report.Episodes) > 0:
+			fmt.Fprintf(os.Stderr, "mmogaudit: %d breach episode(s) but no decision provenance in the stream (run with -provenance / -explain)\n",
+				len(report.Episodes))
+			os.Exit(1)
+		case report.UnexplainedChains > 0:
+			fmt.Fprintf(os.Stderr, "mmogaudit: %d acquisition(s) in breach windows have no decision record\n",
+				report.UnexplainedChains)
 			os.Exit(1)
 		}
 	}

@@ -68,6 +68,7 @@ func run() int {
 		fSeed     = flag.Uint64("fault-seed", 1, "seed for the injection streams")
 		cfgPath   = flag.String("config", "", "hot-config JSON file (loaded at start, re-read on SIGHUP)")
 		drainTmo  = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline before hard exit")
+		explainN  = flag.Int("explain", 0, "retain the last N allocation decisions per game and serve them on GET /v1/explain (0 disables)")
 		obsEvents = flag.String("obs-events", "", "append every flight-recorder event to this JSONL file")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace of request/observe/acquire spans here at drain (enables tracing)")
 		rtMetrics = flag.Bool("runtime-metrics", true, "export Go runtime self-telemetry (GC, heap, goroutines, sched latency) on /metrics")
@@ -139,6 +140,7 @@ func run() int {
 		MaxBodyBytes:  *maxBody,
 		CheckpointDir: *ckptDir,
 		Hot:           hot,
+		ExplainDepth:  *explainN,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "daemon:", err)

@@ -52,6 +52,8 @@ func main() {
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /events, /debug/vars, and /debug/pprof on this address while the run executes (e.g. 127.0.0.1:8080; :0 picks a free port, printed to stderr)")
 		obsLinger  = flag.Duration("obs-linger", 0, "keep the -obs-addr server up this long after the run finishes (for scraping a completed run)")
 		obsEvents  = flag.String("obs-events", "", "append every flight-recorder event to this JSONL file")
+		obsRing    = flag.Int("obs-ring", 0, "flight-recorder ring capacity in events (0 = default 4096; size it to the run when gating on zero overwrites)")
+		provDepth  = flag.Int("provenance", 0, "record the last N allocation decisions with per-candidate dispositions; with -obs-events, each acquire also emits a 'decision' event (0 disables)")
 		metricsOut = flag.String("metrics-out", "", "write a JSON snapshot of all metrics (plus the resilience summary) to this file after the run")
 		traceOut   = flag.String("trace-out", "", "record spans and write a Chrome trace_event JSON file (view in Perfetto; feed to mmogaudit)")
 
@@ -80,6 +82,9 @@ func main() {
 	var telemetry *obs.Obs
 	if *obsAddr != "" || *obsEvents != "" || *metricsOut != "" || *traceOut != "" {
 		telemetry = obs.New()
+		if *obsRing > 0 {
+			telemetry.Recorder = obs.NewRecorder(*obsRing)
+		}
 	}
 	if *traceOut != "" {
 		telemetry.EnableTracing(0)
@@ -142,6 +147,7 @@ func main() {
 		CheckpointEveryTicks:  *ckptEvery,
 		StopAfterTick:         *stopAfter,
 		Obs:                   telemetry,
+		Provenance:            *provDepth,
 		FailoverBudgetPerTick: *failoverBudget,
 		Brownout:              *brownout,
 		BrownoutReserveFrac:   *brownoutReserve,

@@ -1,0 +1,167 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"mmogdc/internal/obs"
+)
+
+// whyStream is a hand-built run with one breach episode whose acquire
+// passes carry decision records, plus one acquisition the ring "lost"
+// the decision for.
+func whyStream() []obs.Event {
+	return []obs.Event{
+		// Healthy acquire before the trouble: grant + decision.
+		{Tick: 5, Kind: obs.EventGrant, Subject: "g", Value: 2, Detail: "centers: local"},
+		{Tick: 5, Kind: obs.EventDecision, Subject: "g", Value: 1,
+			Detail: "local=granted,nearby=not-needed"},
+		// The breach window: rejections drive a two-tick episode.
+		{Tick: 10, Kind: obs.EventRejection, Subject: "g", Value: 2},
+		{Tick: 10, Kind: obs.EventGrant, Subject: "g", Value: 1, Detail: "centers: nearby"},
+		{Tick: 10, Kind: obs.EventDecision, Subject: "g", Value: 2,
+			Detail: "local=rejected-by-injector,nearby=partial-trimmed"},
+		{Tick: 10, Kind: obs.EventDecision, Subject: "g", Value: 3,
+			Detail: "local=rejected-by-injector,nearby=no-capacity"},
+		{Tick: 10, Kind: obs.EventBreach, Subject: "run", Value: -6},
+		{Tick: 11, Kind: obs.EventBreach, Subject: "run", Value: -4},
+		// A retry inside the window with no decision record: the one
+		// unexplained link in the chain.
+		{Tick: 11, Kind: obs.EventRetry, Subject: "g"},
+	}
+}
+
+func TestWhyChainsResolveEpisodes(t *testing.T) {
+	rp := Analyze(whyStream(), nil, nil)
+	if !rp.HasDecisions {
+		t.Fatal("decision events present but HasDecisions is false")
+	}
+	if len(rp.Episodes) != 1 || len(rp.WhyChains) != 1 {
+		t.Fatalf("episodes=%d whychains=%d, want 1 and 1", len(rp.Episodes), len(rp.WhyChains))
+	}
+	wc := rp.WhyChains[0]
+	if wc.Episode != 1 {
+		t.Fatalf("chain episode = %d, want 1", wc.Episode)
+	}
+	// Sites in [10-8, 11]: the tick-5 grant, the tick-10 grant, and the
+	// tick-11 retry. The retry has no decision record.
+	if wc.Acquisitions != 3 || wc.Resolved != 2 || wc.Unexplained != 1 {
+		t.Fatalf("chain = %+v, want 3 acquisitions, 2 resolved, 1 unexplained", wc)
+	}
+	if rp.UnexplainedChains != 1 {
+		t.Fatalf("UnexplainedChains = %d, want 1", rp.UnexplainedChains)
+	}
+	got := map[string]int{}
+	for _, d := range wc.Dispositions {
+		got[d.Kind] = d.Count
+	}
+	want := map[string]int{
+		"granted": 1, "not-needed": 1, "rejected-by-injector": 2,
+		"partial-trimmed": 1, "no-capacity": 1,
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("disposition %q = %d, want %d (all: %v)", k, got[k], n, got)
+		}
+	}
+}
+
+func TestWhyConsistencyChecks(t *testing.T) {
+	rp := Analyze(whyStream(), nil, nil)
+	find := func(name string) Check {
+		t.Helper()
+		for _, c := range rp.Checks {
+			if c.Name == name {
+				return c
+			}
+		}
+		t.Fatalf("check %q missing (have %+v)", name, rp.Checks)
+		return Check{}
+	}
+	// Tick 10 has one rejection event (Value 2) and two walks with one
+	// rejected-by-injector each: 2 == 2.
+	if c := find("rejection events match rejected-by-injector dispositions"); !c.OK {
+		t.Fatalf("rejection check failed: %+v", c)
+	}
+	if c := find("granted centers appear in decision walks (mismatches)"); !c.OK {
+		t.Fatalf("grant-walk check failed: %+v", c)
+	}
+
+	// Corrupt the stream: a grant names a center the decision never
+	// granted — the check must flag it.
+	bad := whyStream()
+	for i := range bad {
+		if bad[i].Tick == 10 && bad[i].Kind == obs.EventGrant {
+			bad[i].Detail = "centers: phantom"
+		}
+	}
+	rp = Analyze(bad, nil, nil)
+	found := false
+	for _, c := range rp.Checks {
+		if c.Name == "granted centers appear in decision walks (mismatches)" {
+			found = true
+			if c.OK {
+				t.Fatal("phantom granted center passed the walk check")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("grant-walk check missing")
+	}
+}
+
+func TestWhySectionRenderGated(t *testing.T) {
+	var with, without strings.Builder
+	if err := Analyze(whyStream(), nil, nil).Render(&with); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(with.String(), "## Why (decision provenance)") {
+		t.Fatal("Why section missing with decision events present")
+	}
+	if !strings.Contains(with.String(), "WARNING: 1 acquisition(s) in breach windows have no decision record") {
+		t.Fatalf("unexplained warning missing:\n%s", with.String())
+	}
+
+	// The same stream minus decision events renders no Why section and
+	// no provenance checks: provenance-free reports are unchanged.
+	var plain []obs.Event
+	for _, e := range whyStream() {
+		if e.Kind != obs.EventDecision {
+			plain = append(plain, e)
+		}
+	}
+	rp := Analyze(plain, nil, nil)
+	if rp.HasDecisions || len(rp.WhyChains) != 0 || len(rp.Checks) != 0 {
+		t.Fatalf("provenance artifacts on a decision-free stream: %+v", rp.Checks)
+	}
+	if err := rp.Render(&without); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(without.String(), "Why (decision provenance)") {
+		t.Fatal("Why section rendered without decision events")
+	}
+}
+
+func TestDegradedTelemetryWarning(t *testing.T) {
+	events := []obs.Event{{Tick: 1, Kind: obs.EventGrant, Subject: "g", Value: 1}}
+	md := &MetricsDoc{Ticks: 2, Recorder: RecorderStats{Total: 1, Retained: 1}}
+
+	var clean strings.Builder
+	if err := Analyze(events, md, nil).Render(&clean); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "degraded telemetry") {
+		t.Fatal("degraded-telemetry warning on a loss-free run")
+	}
+
+	md.Recorder.Dropped = 7
+	md.Recorder.SinkErrs = 1
+	var lossy strings.Builder
+	if err := Analyze(events, md, nil).Render(&lossy); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lossy.String(),
+		"WARNING: degraded telemetry — 7 event(s) overwritten by the ring, 1 sink error(s)") {
+		t.Fatalf("degraded-telemetry warning missing:\n%s", lossy.String())
+	}
+}

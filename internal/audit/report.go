@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"mmogdc/internal/ecosystem"
 	"mmogdc/internal/obs"
 )
 
@@ -135,6 +136,26 @@ func (a *AlertQuality) Recall() float64 {
 	return float64(a.Detected) / float64(a.Episodes)
 }
 
+// WhyChain walks one SLA-breach episode back through its decision
+// chain: every acquisition site (grant/failover/retry event) inside the
+// episode's cause window, resolved to the decision record emitted at
+// the same (tick, subject), and the per-candidate dispositions those
+// decisions carry. An acquisition with no decision record is
+// Unexplained — with provenance enabled end to end that count is zero.
+type WhyChain struct {
+	// Episode is the 1-based index into Report.Episodes.
+	Episode int
+	// Acquisitions counts distinct (tick, subject) acquisition sites in
+	// [StartTick-causeLookbackTicks, EndTick]; Resolved of those had a
+	// decision record, Unexplained did not.
+	Acquisitions int
+	Resolved     int
+	Unexplained  int
+	// Dispositions aggregates the per-candidate dispositions across the
+	// resolved decisions, sorted by disposition name.
+	Dispositions []KindCount
+}
+
 // Check is one consistency assertion between the artifacts.
 type Check struct {
 	Name string
@@ -164,6 +185,15 @@ type Report struct {
 	// Unclassified counts episodes whose root cause no signal in the
 	// stream explains (cmd/mmogaudit can be told to fail on them).
 	Unclassified int
+
+	// Decision provenance. HasDecisions is set when the stream carries
+	// decision events at all — the Why section and its consistency
+	// checks are gated on it, so provenance-free reports are
+	// byte-identical to pre-provenance ones. UnexplainedChains sums
+	// WhyChain.Unexplained (cmd/mmogaudit can be told to fail on it).
+	HasDecisions      bool
+	WhyChains         []WhyChain
+	UnexplainedChains int
 
 	// From the metrics document (nil-safe: zero when absent).
 	HasMetrics bool
@@ -199,6 +229,7 @@ func Analyze(events []obs.Event, md *MetricsDoc, tr *Trace) *Report {
 	rp := &Report{EventTotal: len(events)}
 	rp.censusFrom(events)
 	rp.episodesFrom(events)
+	rp.whyFrom(events)
 	rp.alertsFrom(events)
 	rp.centersFrom(events, md)
 	if md != nil {
@@ -427,6 +458,138 @@ func (rp *Report) episodesFrom(events []obs.Event) {
 	}
 }
 
+// walkDispositions iterates a decision event's Detail — the
+// "center=disposition,..." walk ecosystem.Decision.WalkDetail emits —
+// calling fn once per candidate verdict.
+func walkDispositions(detail string, fn func(center, disp string)) {
+	for _, part := range strings.Split(detail, ",") {
+		if center, disp, ok := strings.Cut(part, "="); ok {
+			fn(center, disp)
+		}
+	}
+}
+
+// whyFrom walks each breach episode back through its decision chain.
+// It also cross-checks the decision walks against the grant and
+// rejection counters recorded at the same (tick, subject) sites — only
+// pairs where both records exist, so a ring-truncated stream degrades
+// to fewer comparisons, not false mismatches. Streams with no decision
+// events (provenance disabled) are left untouched.
+func (rp *Report) whyFrom(events []obs.Event) {
+	type site struct {
+		tick    int
+		subject string
+	}
+	// A site can carry more than one decision (tick 0 runs bootstrap
+	// and the first loop acquire for the same tag), so keep every walk
+	// and aggregate the cross-checks per site.
+	decisions := map[site][]string{}
+	for _, e := range events {
+		if e.Kind == obs.EventDecision {
+			s := site{e.Tick, e.Subject}
+			decisions[s] = append(decisions[s], e.Detail)
+		}
+	}
+	if len(decisions) == 0 {
+		return
+	}
+	rp.HasDecisions = true
+
+	// Acquisition sites, deduplicated in stream order: the events the
+	// engines emit when an acquire pass did something worth explaining.
+	var sites []site
+	seen := map[site]bool{}
+	rejBySite := map[site]int{}
+	grantMismatches := 0
+	for _, e := range events {
+		s := site{e.Tick, e.Subject}
+		switch e.Kind {
+		case obs.EventFailover, obs.EventRetry:
+			if !seen[s] {
+				seen[s] = true
+				sites = append(sites, s)
+			}
+		case obs.EventRejection:
+			rejBySite[s] += int(e.Value)
+		case obs.EventGrant:
+			if !seen[s] {
+				seen[s] = true
+				sites = append(sites, s)
+			}
+			// Every center the grant event names must appear in some
+			// decision walk at the site with a granting disposition.
+			walks := decisions[s]
+			if len(walks) == 0 || !strings.HasPrefix(e.Detail, "centers: ") {
+				break
+			}
+			for _, name := range strings.Split(strings.TrimPrefix(e.Detail, "centers: "), ",") {
+				if name == "" {
+					continue
+				}
+				found := false
+				for _, walk := range walks {
+					walkDispositions(walk, func(center, disp string) {
+						if center == name && (disp == string(ecosystem.DispGranted) ||
+							disp == string(ecosystem.DispPartialTrimmed)) {
+							found = true
+						}
+					})
+				}
+				if !found {
+					grantMismatches++
+				}
+			}
+		}
+	}
+	// At every site with decision records, the walks' rejected-by-
+	// injector verdicts must sum to the rejection events' counts.
+	rejEvents, rejWalk := 0, 0
+	for s, walks := range decisions {
+		rejEvents += rejBySite[s]
+		for _, walk := range walks {
+			walkDispositions(walk, func(_, disp string) {
+				if disp == string(ecosystem.DispRejectedByInjector) {
+					rejWalk++
+				}
+			})
+		}
+	}
+
+	for i, ep := range rp.Episodes {
+		wc := WhyChain{Episode: i + 1}
+		disp := map[string]int{}
+		for _, s := range sites {
+			if s.tick < ep.StartTick-causeLookbackTicks || s.tick > ep.EndTick {
+				continue
+			}
+			wc.Acquisitions++
+			walks, ok := decisions[s]
+			if !ok {
+				wc.Unexplained++
+				continue
+			}
+			wc.Resolved++
+			for _, walk := range walks {
+				walkDispositions(walk, func(_, d string) { disp[d]++ })
+			}
+		}
+		for name, n := range disp {
+			wc.Dispositions = append(wc.Dispositions, KindCount{Kind: name, Count: n})
+		}
+		sort.Slice(wc.Dispositions, func(a, b int) bool {
+			return wc.Dispositions[a].Kind < wc.Dispositions[b].Kind
+		})
+		rp.UnexplainedChains += wc.Unexplained
+		rp.WhyChains = append(rp.WhyChains, wc)
+	}
+
+	rp.Checks = append(rp.Checks,
+		check("rejection events match rejected-by-injector dispositions",
+			fmt.Sprint(rejEvents), fmt.Sprint(rejWalk)),
+		check("granted centers appear in decision walks (mismatches)",
+			"0", fmt.Sprint(grantMismatches)))
+}
+
 // alertsFrom scores slo_alert firings against the breach episodes.
 // Runs without an SLO engine (no slo_alert events at all) leave Alerts
 // nil, so their reports are byte-identical to pre-engine ones.
@@ -589,6 +752,10 @@ func (rp *Report) Render(w io.Writer) error {
 			rp.Ticks, rp.Events, rp.Unmet)
 		fmt.Fprintf(&b, "recorder: %d events total, %d retained, %d overwritten, %d sink errors\n",
 			rp.Recorder.Total, rp.Recorder.Retained, rp.Recorder.Dropped, rp.Recorder.SinkErrs)
+		if rp.Recorder.Dropped > 0 || rp.Recorder.SinkErrs > 0 {
+			fmt.Fprintf(&b, "WARNING: degraded telemetry — %d event(s) overwritten by the ring, %d sink error(s); stream-derived sections may undercount\n",
+				rp.Recorder.Dropped, rp.Recorder.SinkErrs)
+		}
 	}
 	fmt.Fprintf(&b, "event stream: %d events\n\n", rp.EventTotal)
 
@@ -617,6 +784,32 @@ func (rp *Report) Render(w io.Writer) error {
 			fmt.Fprintf(&b, "\nWARNING: %d episode(s) unclassified — no signal in the stream explains them\n", rp.Unclassified)
 		}
 		b.WriteString("\n")
+	}
+
+	if rp.HasDecisions {
+		b.WriteString("## Why (decision provenance)\n\n")
+		fmt.Fprintf(&b, "decision records in stream: %d\n\n", rp.kindCount(obs.EventDecision))
+		if len(rp.WhyChains) == 0 {
+			b.WriteString("no breach episodes — nothing to walk back\n\n")
+		} else {
+			b.WriteString("| episode | acquisitions | resolved | unexplained | candidate dispositions |\n|---:|---:|---:|---:|---|\n")
+			for _, wc := range rp.WhyChains {
+				var parts []string
+				for _, d := range wc.Dispositions {
+					parts = append(parts, fmt.Sprintf("%s %d", d.Kind, d.Count))
+				}
+				summary := strings.Join(parts, ", ")
+				if summary == "" {
+					summary = "-"
+				}
+				fmt.Fprintf(&b, "| %d | %d | %d | %d | %s |\n",
+					wc.Episode, wc.Acquisitions, wc.Resolved, wc.Unexplained, summary)
+			}
+			if rp.UnexplainedChains > 0 {
+				fmt.Fprintf(&b, "\nWARNING: %d acquisition(s) in breach windows have no decision record\n", rp.UnexplainedChains)
+			}
+			b.WriteString("\n")
+		}
 	}
 
 	if a := rp.Alerts; a != nil {

@@ -159,6 +159,13 @@ type Config struct {
 	// with Obs set produces a bit-identical Result to one without, and
 	// nil costs nothing on the hot path.
 	Obs *obs.Obs
+	// Provenance, when > 0, installs a decision log of that capacity
+	// on the matcher: every acquire records the ordered candidate
+	// ranking with per-candidate dispositions, and (with Obs set) each
+	// grant/failover gains a companion "decision" flight-recorder
+	// event. Write-only like Obs: the Result is bit-identical with
+	// provenance on or off, and 0 disables it entirely.
+	Provenance int
 }
 
 // Failure is one scheduled data-center outage.
@@ -505,6 +512,9 @@ func Run(cfg Config) (*Result, error) {
 	matcher := ecosystem.NewMatcher(cfg.Centers)
 	if plan != nil {
 		matcher.SetFaultInjector(plan)
+	}
+	if cfg.Provenance > 0 {
+		matcher.SetDecisionLog(ecosystem.NewDecisionLog(cfg.Provenance))
 	}
 	res := &Result{CenterStats: map[string]*CenterStats{}}
 	if cfg.TrackCenters {
@@ -1127,6 +1137,9 @@ func Run(cfg Config) (*Result, error) {
 				Demand:        need,
 				Exclude:       lost,
 			}, now)
+			if out.Decision != nil {
+				out.Decision.Tick = t
+			}
 			z.leases = append(z.leases, leases...)
 			resil.Rejections += out.Rejections
 			resil.PartialGrants += out.PartialGrants

@@ -566,6 +566,16 @@ func (ro *runObs) acquired(t int, tag string, leases []*datacenter.Lease, out ec
 			Detail: ro.lostJoinedDetail(lost), Value: float64(len(leases)), Span: span,
 		})
 	}
+	if out.Decision != nil {
+		// The decision event shares the acquire span with the grant /
+		// failover / rejection events above — that span is the join
+		// key from outcome to ranking. Building the walk Detail
+		// allocates, but only on the provenance-enabled path.
+		ro.o.Recorder.Record(obs.Event{
+			Tick: t, Kind: obs.EventDecision, Subject: tag,
+			Detail: out.Decision.WalkDetail(), Value: float64(out.Decision.Seq), Span: span,
+		})
+	}
 	sp.SetValue(float64(len(leases)))
 	sp.End()
 }

@@ -55,6 +55,27 @@ func TestObsRunBitIdentical(t *testing.T) {
 	if o.Tracer.Len() == 0 {
 		t.Fatal("tracing was enabled but captured no spans")
 	}
+
+	// Decision provenance is write-only too: an instrumented run with a
+	// decision log must still be bit-identical.
+	o2 := obs.New()
+	o2.Clock = obs.NewManualClock(time.Unix(0, 0), time.Millisecond)
+	cfg := obsConfig(2, o2)
+	cfg.Provenance = 256
+	explained, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, plain, explained)
+	decisions := 0
+	for _, e := range o2.Recorder.Events() {
+		if e.Kind == obs.EventDecision {
+			decisions++
+		}
+	}
+	if decisions == 0 {
+		t.Fatal("provenance enabled but no decision events recorded")
+	}
 }
 
 // TestObsTraceCapturesEngineStructure pins the span families the

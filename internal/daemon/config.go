@@ -67,6 +67,12 @@ type Config struct {
 	Hot HotConfig
 	// SafetyMargin inflates forecasts before requesting (0 = exact).
 	SafetyMargin float64
+	// ExplainDepth, when > 0, enables decision provenance: a decision
+	// log is installed on the matcher and each game retains its last
+	// ExplainDepth decision records, served by GET /v1/explain.
+	// Write-only like the rest of the telemetry: provisioning output
+	// is byte-identical with explain on or off. 0 disables.
+	ExplainDepth int
 }
 
 // HotConfig is the subset of the configuration that POST /v1/config or

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mmogdc/internal/checkpoint"
+	"mmogdc/internal/ecosystem"
 	"mmogdc/internal/geo"
 	"mmogdc/internal/mmog"
 	"mmogdc/internal/obs"
@@ -61,6 +62,10 @@ type game struct {
 	qmu    sync.RWMutex
 	queue  chan sample
 	closed bool
+
+	// explain retains the game's recent decision records when
+	// Config.ExplainDepth is set (nil otherwise). Guarded by ecoMu.
+	explain *explainRing
 
 	// zones is the expected zone count (0 until the first accepted
 	// observation or a restored checkpoint fixes it).
@@ -131,6 +136,9 @@ func New(cfg Config) (*Daemon, error) {
 	d.inj = newGrantInjector(d, hot.FaultSeed)
 	cfg.Matcher.SetFaultInjector(d.inj)
 	d.brk = newBreaker(d, cfg.Matcher.Centers())
+	if cfg.ExplainDepth > 0 && cfg.Matcher.DecisionLog() == nil {
+		cfg.Matcher.SetDecisionLog(ecosystem.NewDecisionLog(cfg.ExplainDepth))
+	}
 
 	r := d.obs.Registry
 	d.mReloadOK = r.Counter("mmogdc_daemon_reloads_total",
@@ -198,6 +206,9 @@ func (d *Daemon) newGame(spec GameSpec, hot HotConfig) (*game, error) {
 		now:          d.cfg.Start,
 		dropRng:      xrand.New(hot.FaultSeed ^ 0xd40f001d5eed ^ hashName(spec.Name)),
 		restoredTick: -1,
+	}
+	if d.cfg.ExplainDepth > 0 {
+		g.explain = newExplainRing(d.cfg.ExplainDepth)
 	}
 	if d.cfg.CheckpointDir != "" {
 		mgr, err := checkpoint.NewManager(filepath.Join(d.cfg.CheckpointDir, spec.Name))
@@ -393,6 +404,13 @@ func (d *Daemon) observeOne(g *game, s sample) {
 	// (GrantActivity aliases per-tick buffers the next Observe reuses).
 	granted, rejected := g.op.GrantActivity()
 	d.brk.record(granted, rejected)
+	// Same aliasing rule for the decision record: copy it into the
+	// explain ring before the next Observe can reuse the log slot.
+	if g.explain != nil {
+		if dec := g.op.LastDecision(); dec != nil {
+			g.explain.push(dec)
+		}
+	}
 	g.now = g.now.Add(hot.Tick())
 	ticks := g.op.Metrics().Ticks
 	var payload []byte

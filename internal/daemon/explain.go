@@ -1,0 +1,159 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"mmogdc/internal/ecosystem"
+)
+
+// Decision provenance for the service path: when Config.ExplainDepth
+// is set, the daemon installs a decision log on the shared matcher and
+// copies each game's per-tick Decision into a bounded per-game ring,
+// which GET /v1/explain serves. Entries are deep copies taken under
+// ecoMu right after the observe pass (the operator's LastDecision
+// aliases matcher scratch, so this is the only safe moment), and the
+// ring is bounded — enabling explain costs one ring of Decisions per
+// game and nothing per request. Observations a region circuit breaker
+// refuses never reach the matcher; handleObserve synthesizes a
+// circuit-open decision for them so the refusal is explainable too.
+
+// explainRing is a bounded ring of deep-copied decisions. Guarded by
+// Daemon.ecoMu.
+type explainRing struct {
+	ring []ecosystem.Decision
+	next int
+	full bool
+}
+
+func newExplainRing(depth int) *explainRing {
+	if depth < 1 {
+		depth = 1
+	}
+	return &explainRing{ring: make([]ecosystem.Decision, depth)}
+}
+
+// push deep-copies d into the ring (d aliases matcher/log scratch).
+func (e *explainRing) push(d *ecosystem.Decision) {
+	slot := &e.ring[e.next]
+	cands := append(slot.Candidates[:0], d.Candidates...)
+	*slot = *d
+	slot.Candidates = cands
+	e.next++
+	if e.next == len(e.ring) {
+		e.next = 0
+		e.full = true
+	}
+}
+
+// snapshot copies the retained decisions out, oldest first.
+func (e *explainRing) snapshot() []ecosystem.Decision {
+	var src []ecosystem.Decision
+	if e.full {
+		src = append(src, e.ring[e.next:]...)
+		src = append(src, e.ring[:e.next]...)
+	} else {
+		src = append(src, e.ring[:e.next]...)
+	}
+	for i := range src {
+		src[i].Candidates = append([]ecosystem.CandidateVerdict(nil), src[i].Candidates...)
+	}
+	return src
+}
+
+// centersIn lists the centers of one failure domain, sorted for a
+// deterministic synthesized verdict order.
+func (b *breaker) centersIn(region string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for name, r := range b.centerRegion {
+		if r == region {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// explainCircuitOpen records a synthesized decision for an observation
+// the region breaker refused: every center of the gated region gets a
+// circuit-open verdict. The matcher never saw the request, so Seq is 0
+// and the tick is the game's admission counter (the tick the refused
+// observation would have become).
+func (d *Daemon) explainCircuitOpen(g *game, region string) {
+	if g.explain == nil {
+		return
+	}
+	dec := ecosystem.Decision{
+		Tick: int(g.tick.Load()),
+		Tag:  g.spec.Name,
+	}
+	for _, name := range d.brk.centersIn(region) {
+		dec.Candidates = append(dec.Candidates, ecosystem.CandidateVerdict{
+			Center:      name,
+			Disposition: ecosystem.DispCircuitOpen,
+		})
+	}
+	d.ecoMu.Lock()
+	g.explain.push(&dec)
+	d.ecoMu.Unlock()
+}
+
+// handleExplain serves GET /v1/explain?game=&zone=&tick=: the last-N
+// decision records for one game, oldest first. tick filters to one
+// provisioning tick; zone filters by the requesting tag (the embedded
+// operator tags its requests with the game name, so for the daemon the
+// two coincide — the parameter exists for decision streams imported
+// from the per-zone simulation).
+func (d *Daemon) handleExplain(w http.ResponseWriter, r *http.Request) {
+	g := d.gameFor(w, r)
+	if g == nil {
+		return
+	}
+	if g.explain == nil {
+		d.typedError(w, http.StatusNotFound, "explain_disabled",
+			"decision provenance is off (start the daemon with -explain)")
+		return
+	}
+	q := r.URL.Query()
+	tickFilter := -1
+	if s := q.Get("tick"); s != "" {
+		t, err := strconv.Atoi(s)
+		if err != nil || t < 0 {
+			d.typedError(w, http.StatusBadRequest, "bad_value",
+				"tick must be a non-negative integer")
+			return
+		}
+		tickFilter = t
+	}
+	zone := q.Get("zone")
+
+	d.ecoMu.Lock()
+	decisions := g.explain.snapshot()
+	d.ecoMu.Unlock()
+
+	if tickFilter >= 0 || zone != "" {
+		kept := decisions[:0]
+		for _, dec := range decisions {
+			if tickFilter >= 0 && dec.Tick != tickFilter {
+				continue
+			}
+			if zone != "" && dec.Tag != zone {
+				continue
+			}
+			kept = append(kept, dec)
+		}
+		decisions = kept
+	}
+	if decisions == nil {
+		decisions = []ecosystem.Decision{}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(map[string]any{
+		"game": g.spec.Name, "depth": len(g.explain.ring),
+		"count": len(decisions), "decisions": decisions,
+	})
+}

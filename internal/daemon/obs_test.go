@@ -216,6 +216,7 @@ func TestDaemonObsBitIdentical(t *testing.T) {
 			o.EnableRuntimeMetrics()
 			mutate = func(c *Config) {
 				c.Obs = o
+				c.ExplainDepth = 32
 				h := fastHot()
 				h.SLORules = []slo.RuleConfig{breachRule()}
 				c.Hot = h

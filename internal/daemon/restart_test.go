@@ -4,12 +4,15 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"mmogdc/internal/slo"
 )
 
 // A clean drain releases every lease and flushes a final checkpoint, so
@@ -206,6 +209,67 @@ func TestConfigPostPartialMerge(t *testing.T) {
 	resp.Body.Close()
 	if !reflect.DeepEqual(got, d.Hot()) {
 		t.Fatalf("GET /v1/config = %+v, want %+v", got, d.Hot())
+	}
+}
+
+// TestConfigGetPostRoundTrip pins that GET /v1/config emits a document
+// the daemon itself accepts: after a partial merge, POSTing the GET
+// body back re-validates cleanly and reproduces the active HotConfig
+// bit for bit — the observable config is never a lossy rendering of
+// the real one.
+func TestConfigGetPostRoundTrip(t *testing.T) {
+	hot := fastHot()
+	hot.BreakerThreshold = 5
+	hot.BreakerCooldown = 3
+	hot.SLORules = []slo.RuleConfig{breachRule()}
+	d := newTestDaemon(t, func(c *Config) { c.Hot = hot })
+	defer drain(t, d)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	// Perturb the active config through a partial merge first, so the
+	// round trip covers a state no static file ever described.
+	resp, err := http.Post(srv.URL+"/v1/config", "application/json",
+		strings.NewReader(`{"observe_delay_ms": 1, "fault_partial_prob": 0.125}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial merge -> %d", resp.StatusCode)
+	}
+	merged := d.Hot()
+
+	get := func() string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/config")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	doc := get()
+
+	// The GET document POSTs back without tripping validation or the
+	// unknown-field guard.
+	resp, err = http.Post(srv.URL+"/v1/config", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("round-trip POST -> %d", resp.StatusCode)
+	}
+	if !reflect.DeepEqual(d.Hot(), merged) {
+		t.Fatalf("round trip changed the active config:\n%+v\n%+v", d.Hot(), merged)
+	}
+	if again := get(); again != doc {
+		t.Fatalf("GET not stable across its own round trip:\n%s\n%s", doc, again)
 	}
 }
 

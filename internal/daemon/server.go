@@ -21,6 +21,8 @@ import (
 //	POST /v1/observe    ingest one per-game tick sample (202 / 429 / 4xx)
 //	GET  /v1/forecast   latest per-zone forecast for one game
 //	GET  /v1/leases     the live lease book for one game
+//	GET  /v1/explain    the last-N allocation decisions with verdicts
+//	                    (requires Config.ExplainDepth / mmogd -explain)
 //	GET  /v1/config     the active hot configuration
 //	POST /v1/config     validate-and-swap a new hot configuration
 //	GET  /healthz       process liveness (always 200 while serving)
@@ -152,6 +154,9 @@ func (d *Daemon) handleObserve(w http.ResponseWriter, r *http.Request) {
 	// region whose centers keep rejecting grants is refused instead of
 	// queueing observations the region cannot serve.
 	if !d.brk.allow(g.region) {
+		// The matcher never sees a refused observation; synthesize its
+		// provenance so /v1/explain can answer for the refusal too.
+		d.explainCircuitOpen(g, g.region)
 		w.Header().Set("Retry-After", "1")
 		d.typedError(w, http.StatusServiceUnavailable, "region_unavailable",
 			fmt.Sprintf("region %q circuit is open after consecutive grant failures", g.region))
@@ -278,13 +283,15 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/observe", d.instrument("/v1/observe", d.handleObserve))
 	mux.HandleFunc("GET /v1/forecast", d.instrument("/v1/forecast", d.handleForecast))
 	mux.HandleFunc("GET /v1/leases", d.instrument("/v1/leases", d.handleLeases))
+	mux.HandleFunc("GET /v1/explain", d.instrument("/v1/explain", d.handleExplain))
 	mux.HandleFunc("GET /v1/config", d.instrument("/v1/config", d.handleConfigGet))
 	mux.HandleFunc("POST /v1/config", d.instrument("/v1/config", d.handleConfigPost))
 	// Method-less duplicates catch method confusion with a typed 405;
 	// without them the mux would fall through to the "/" pattern below
 	// and report a misleading 404 from the obs surface.
 	for path, allow := range map[string]string{
-		"/v1/observe": "POST", "/v1/forecast": "GET", "/v1/leases": "GET", "/v1/config": "GET, POST",
+		"/v1/observe": "POST", "/v1/forecast": "GET", "/v1/leases": "GET",
+		"/v1/explain": "GET", "/v1/config": "GET, POST",
 	} {
 		mux.HandleFunc(path, d.instrument(path, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Allow", allow)

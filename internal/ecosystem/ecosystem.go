@@ -61,6 +61,11 @@ type Outcome struct {
 	// matcher scratch and is only valid until the next Allocate call;
 	// callers that retain it must copy.
 	RejectedBy []string
+	// Decision is the provenance record of this call — every
+	// candidate's verdict — when a DecisionLog is installed, nil
+	// otherwise. It aliases log ring storage and is valid until the
+	// ring wraps; callers that retain it must deep-copy.
+	Decision *Decision
 }
 
 // Matcher allocates requests across a set of data centers. A Matcher
@@ -74,11 +79,22 @@ type Matcher struct {
 	// per-tick acquire walk does not allocate in steady state.
 	cands    []candidate
 	rejected []string
+	// log, when installed, receives one Decision per AllocateDetailed
+	// call. nil (the default) keeps the walk provenance-free.
+	log *DecisionLog
 }
 
 // SetFaultInjector installs (or, with nil, removes) the grant-fault
 // injector consulted on every subsequent grant attempt.
 func (m *Matcher) SetFaultInjector(f GrantFaults) { m.faults = f }
+
+// SetDecisionLog installs (or, with nil, removes) the decision
+// provenance log. Recording is write-only: the matching walk grants
+// exactly the same leases with or without a log.
+func (m *Matcher) SetDecisionLog(l *DecisionLog) { m.log = l }
+
+// DecisionLog returns the installed provenance log, or nil.
+func (m *Matcher) DecisionLog() *DecisionLog { return m.log }
 
 // NewMatcher returns a matcher over the centers.
 func NewMatcher(centers []*datacenter.Center) *Matcher {
@@ -171,14 +187,38 @@ func (m *Matcher) AllocateDetailed(req Request, now time.Time) ([]*datacenter.Le
 		return nil, datacenter.Vector{}, out
 	}
 
+	// Provenance: one Decision per non-trivial call. Centers filtered
+	// before ranking collect in the log's scratch (rank 0) and are
+	// appended after the ranked walk, so Candidates reads in walk
+	// order. dec stays nil when no log is installed — every recording
+	// site below is gated on it and the walk is unchanged.
+	var dec *Decision
+	if m.log != nil {
+		dec = m.log.begin(req.Tag)
+		m.log.scratch = m.log.scratch[:0]
+	}
+
 	cands := m.cands[:0]
 	for _, c := range m.centers {
 		if excluded(req.Exclude, c.Name) {
+			if dec != nil {
+				m.log.scratch = append(m.log.scratch, CandidateVerdict{
+					Center:      c.Name,
+					DistKm:      geo.DistanceKm(req.Origin, c.Location),
+					Disposition: DispExcludedByFailover,
+				})
+			}
 			continue
 		}
 		d := geo.DistanceKm(req.Origin, c.Location)
 		if d <= req.MaxDistanceKm {
 			cands = append(cands, candidate{center: c, distKm: d})
+		} else if dec != nil {
+			m.log.scratch = append(m.log.scratch, CandidateVerdict{
+				Center:      c.Name,
+				DistKm:      d,
+				Disposition: DispOutOfLatencyClass,
+			})
 		}
 	}
 	m.cands = cands
@@ -190,15 +230,35 @@ func (m *Matcher) AllocateDetailed(req Request, now time.Time) ([]*datacenter.Le
 	slices.SortFunc(cands, compareCandidates)
 
 	var leases []*datacenter.Lease
-	for _, cand := range cands {
+	for i, cand := range cands {
 		if remaining.IsZero() {
-			break
-		}
-		c := cand.center
-		grant := fitToFree(c, remaining)
-		if grant.IsZero() {
+			if dec == nil {
+				break
+			}
+			// Keep walking to give the unreached tail a verdict — no
+			// fitToFree and no injector draw, so the fault stream and
+			// the lease book are untouched.
+			dec.Candidates = append(dec.Candidates, CandidateVerdict{
+				Center: cand.center.Name, Rank: i + 1, DistKm: cand.distKm,
+				Disposition: DispNotNeeded,
+			})
 			continue
 		}
+		c := cand.center
+		verdict := func(disp Disposition, cpu float64) {
+			dec.Candidates = append(dec.Candidates, CandidateVerdict{
+				Center: c.Name, Rank: i + 1, DistKm: cand.distKm,
+				Disposition: disp, CPU: cpu,
+			})
+		}
+		grant := fitToFree(c, remaining)
+		if grant.IsZero() {
+			if dec != nil {
+				verdict(DispNoCapacity, 0)
+			}
+			continue
+		}
+		trimmed := false
 		if m.faults != nil {
 			// The injector is consulted only for attempts that would
 			// actually lease, so the fault stream's consumption is a
@@ -208,22 +268,44 @@ func (m *Matcher) AllocateDetailed(req Request, now time.Time) ([]*datacenter.Le
 				out.Rejections++
 				m.rejected = append(m.rejected, c.Name)
 				out.RejectedBy = m.rejected
+				if dec != nil {
+					verdict(DispRejectedByInjector, 0)
+				}
 				continue
 			}
 			if frac < 1 {
 				out.PartialGrants++
+				trimmed = true
 				grant = fitToFree(c, grant.Scale(frac))
 				if grant.IsZero() {
+					if dec != nil {
+						verdict(DispPartialTrimmed, 0)
+					}
 					continue
 				}
 			}
 		}
 		l, err := c.Lease(grant, now, req.Tag)
 		if err != nil {
+			if dec != nil {
+				verdict(DispFaulted, 0)
+			}
 			continue
+		}
+		if dec != nil {
+			disp := DispGranted
+			if trimmed {
+				disp = DispPartialTrimmed
+			}
+			verdict(disp, l.Alloc[datacenter.CPU])
 		}
 		leases = append(leases, l)
 		remaining = remaining.Sub(l.Alloc).ClampNonNegative()
+	}
+	if dec != nil {
+		dec.Candidates = append(dec.Candidates, m.log.scratch...)
+		dec.UnmetCPU = remaining[datacenter.CPU]
+		out.Decision = dec
 	}
 	return leases, remaining, out
 }

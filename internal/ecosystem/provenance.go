@@ -1,0 +1,180 @@
+// Decision provenance: an optional, bounded record of *why* each
+// Allocate call granted what it granted. When a DecisionLog is
+// installed, AllocateDetailed writes one Decision per request — the
+// ordered candidate ranking with a typed per-candidate disposition —
+// into a reusable ring, so the operator, the daemon's /v1/explain
+// endpoint, and mmogaudit's why-chains can all walk an allocation
+// back to the candidates that were passed over and the reason each
+// was. Like every observability layer in this repo it is write-only
+// and free when off: with no log installed the matching walk takes
+// the exact same branches and allocates nothing extra.
+package ecosystem
+
+import "strings"
+
+// Disposition classifies what the matching walk did with one
+// candidate center. The values are untyped string constants, so every
+// Decision shares the same interned backing — recording a disposition
+// never allocates.
+type Disposition string
+
+// The disposition taxonomy. Every candidate a request could have used
+// lands on exactly one of these; "unexplained" is deliberately absent
+// (an audit that cannot resolve a disposition has found a bug, not a
+// category).
+const (
+	// DispGranted: the center leased the full fitted grant.
+	DispGranted Disposition = "granted"
+	// DispPartialTrimmed: the injector trimmed the grant (or the trim
+	// rounded it to zero) — the center served less than it could have.
+	DispPartialTrimmed Disposition = "partial-trimmed"
+	// DispNoCapacity: the center's free capacity fits no usable grant
+	// (no whole CPU bulk available).
+	DispNoCapacity Disposition = "no-capacity"
+	// DispExcludedByFailover: the request's Exclude list named the
+	// center — a failover refusing to lease back from the center that
+	// just dropped the zone.
+	DispExcludedByFailover Disposition = "excluded-by-failover"
+	// DispOutOfLatencyClass: the center sits beyond the game's
+	// latency tolerance (MaxDistanceKm).
+	DispOutOfLatencyClass Disposition = "out-of-latency-class"
+	// DispFaulted: the center accepted the grant but the lease call
+	// itself failed (capacity raced away or the center is down).
+	DispFaulted Disposition = "faulted"
+	// DispRejectedByInjector: the fault injector vetoed the grant
+	// outright.
+	DispRejectedByInjector Disposition = "rejected-by-injector"
+	// DispCircuitOpen: the daemon's region circuit breaker refused the
+	// request before it reached the matcher. Synthesized by the daemon
+	// at the admission boundary — the matcher itself never sees these
+	// requests.
+	DispCircuitOpen Disposition = "circuit-open"
+	// DispNotNeeded: the candidate ranked after demand was already
+	// met — admissible, but the walk never reached it.
+	DispNotNeeded Disposition = "not-needed"
+)
+
+// CandidateVerdict is one candidate's fate in one matching walk.
+type CandidateVerdict struct {
+	// Center is the candidate center's name.
+	Center string `json:"center"`
+	// Rank is the candidate's 1-based position in the admissible
+	// preference order, or 0 for centers filtered out before ranking
+	// (excluded-by-failover, out-of-latency-class, circuit-open).
+	Rank int `json:"rank"`
+	// DistKm is the center's distance from the request origin.
+	DistKm float64 `json:"dist_km"`
+	// Disposition says what the walk did with the candidate.
+	Disposition Disposition `json:"disposition"`
+	// CPU is the CPU actually leased from the center (0 unless
+	// granted or partial-trimmed).
+	CPU float64 `json:"cpu"`
+}
+
+// Decision is the provenance record of one Allocate call: every
+// center's verdict, in walk order (ranked candidates first, then the
+// filtered ones), plus the residual demand.
+type Decision struct {
+	// Seq is the decision's position in the log's total order.
+	Seq uint64 `json:"seq"`
+	// Tick is the provisioning tick the caller stamped (the matcher
+	// itself has no clock).
+	Tick int `json:"tick"`
+	// Tag is the requesting workload (Request.Tag).
+	Tag string `json:"tag"`
+	// UnmetCPU is the CPU demand left unserved after the walk.
+	UnmetCPU float64 `json:"unmet_cpu"`
+	// Candidates holds one verdict per considered center.
+	Candidates []CandidateVerdict `json:"candidates"`
+}
+
+// WalkDetail renders the decision as the compact parseable form
+// "center=disposition,center=disposition,..." that flight-recorder
+// decision events carry in their Detail field. It allocates — callers
+// on the disabled path must not reach it.
+func (d *Decision) WalkDetail() string {
+	var b strings.Builder
+	for i := range d.Candidates {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(d.Candidates[i].Center)
+		b.WriteByte('=')
+		b.WriteString(string(d.Candidates[i].Disposition))
+	}
+	return b.String()
+}
+
+// DecisionLog is a bounded ring of Decisions. Entries are stored by
+// value and their candidate slices reused in place, so steady-state
+// recording allocates nothing once the ring has warmed up. A
+// DecisionLog is not safe for concurrent use — it shares the
+// matcher's single-owner discipline.
+type DecisionLog struct {
+	ring    []Decision
+	next    int
+	full    bool
+	total   uint64
+	cur     *Decision
+	scratch []CandidateVerdict // filtered-center verdicts, appended after the ranked walk
+}
+
+// NewDecisionLog returns a log retaining the last capacity decisions
+// (minimum 1).
+func NewDecisionLog(capacity int) *DecisionLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &DecisionLog{ring: make([]Decision, capacity)}
+}
+
+// begin opens the next ring slot for a new decision, reusing its
+// candidate slice.
+func (l *DecisionLog) begin(tag string) *Decision {
+	d := &l.ring[l.next]
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.total++
+	d.Seq = l.total
+	d.Tick = 0
+	d.Tag = tag
+	d.UnmetCPU = 0
+	d.Candidates = d.Candidates[:0]
+	l.cur = d
+	return d
+}
+
+// Last returns the most recently recorded decision, or nil. The
+// pointer aliases ring storage: it is valid until the ring wraps back
+// onto it, and its candidate slice is reused then.
+func (l *DecisionLog) Last() *Decision {
+	if l.total == 0 {
+		return nil
+	}
+	i := l.next - 1
+	if i < 0 {
+		i = len(l.ring) - 1
+	}
+	return &l.ring[i]
+}
+
+// Total returns how many decisions were ever recorded.
+func (l *DecisionLog) Total() uint64 { return l.total }
+
+// Snapshot deep-copies the retained decisions, oldest first.
+func (l *DecisionLog) Snapshot() []Decision {
+	var src []Decision
+	if l.full {
+		src = append(src, l.ring[l.next:]...)
+		src = append(src, l.ring[:l.next]...)
+	} else {
+		src = append(src, l.ring[:l.next]...)
+	}
+	for i := range src {
+		src[i].Candidates = append([]CandidateVerdict(nil), src[i].Candidates...)
+	}
+	return src
+}

@@ -50,6 +50,13 @@ const (
 
 	// SLO engine kind (PR 9).
 	EventSLOAlert = "slo_alert" // a burn-rate rule fired or resolved (Subject: rule, Detail: "firing"/"resolved", Value: short-window burn)
+
+	// Decision provenance kind (PR 10). Subject is the requesting
+	// zone/game tag, Detail the per-candidate walk
+	// ("center=disposition,..."), Value the DecisionLog sequence
+	// number, Span the enclosing acquire span — the join key tying a
+	// grant/failover event to the ranking that produced it.
+	EventDecision = "decision"
 )
 
 // Recorder is a bounded ring buffer of Events — the flight recorder.

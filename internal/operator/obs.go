@@ -236,4 +236,13 @@ func (oo *opObs) acquired(tick int, game string, leases []*datacenter.Lease, out
 			Detail: oo.lostJoinedDetail(lost), Value: float64(len(leases)), Span: span,
 		})
 	}
+	if out.Decision != nil {
+		// Shares the acquire span with the events above — the join
+		// key from outcome to ranking. WalkDetail allocates, but only
+		// on the provenance-enabled path.
+		oo.o.Recorder.Record(obs.Event{
+			Tick: tick, Kind: obs.EventDecision, Subject: game,
+			Detail: out.Decision.WalkDetail(), Value: float64(out.Decision.Seq), Span: span,
+		})
+	}
 }

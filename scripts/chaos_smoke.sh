@@ -6,11 +6,16 @@
 #    monitoring dropouts must finish and report resilience accounting
 #    (the injector, failover, and backoff paths on the parallel engine).
 # 2. Correlated region blackout: a scheduled eu blackout at the evening
-#    peak with storm control and brownout armed. The run's telemetry is
-#    piped through mmogaudit, which must (a) pass every consistency
-#    check, (b) attribute every SLA-breach episode to a root cause
-#    (-fail-on-unclassified exits 1 otherwise), and (c) render the
-#    failure-domain window it reconstructed from the event stream.
+#    peak with storm control and brownout armed, with decision
+#    provenance recording. The run's telemetry is piped through
+#    mmogaudit, which must (a) pass every consistency check — including
+#    the decision-walk cross-checks, (b) attribute every SLA-breach
+#    episode to a root cause (-fail-on-unclassified exits 1 otherwise),
+#    (c) resolve every breach episode's decision chain completely
+#    (-fail-on-unexplained), and (d) render the failure-domain window
+#    and Why section it reconstructed from the event stream. A
+#    provenance-off control run must produce byte-identical stdout —
+#    recording decisions is write-only.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -24,14 +29,25 @@ trap 'rm -rf "$d"' EXIT
 
 go run -race ./cmd/mmogsim -days 1 -predictor lastvalue \
 	-blackout eu:480:40 -failover-budget 4 -brownout -brownout-reserve 0.1 \
+	-provenance 4096 -obs-ring 32768 \
 	-obs-events "$d/events.jsonl" -metrics-out "$d/metrics.json" \
 	> "$d/sim.out" 2> "$d/sim.err"
 grep -q 'region blackouts: 1' "$d/sim.out"
 grep -q 'failovers deferred by storm control' "$d/sim.out"
 
+# Write-only contract: the identical run without provenance answers
+# byte-identically on stdout.
+go run -race ./cmd/mmogsim -days 1 -predictor lastvalue \
+	-blackout eu:480:40 -failover-budget 4 -brownout -brownout-reserve 0.1 \
+	> "$d/sim_off.out" 2> "$d/sim_off.err"
+cmp "$d/sim.out" "$d/sim_off.out"
+
 go run ./cmd/mmogaudit -events "$d/events.jsonl" -metrics "$d/metrics.json" \
-	-fail-on-unclassified > "$d/audit.md"
+	-fail-on-unclassified -fail-on-unexplained -fail-on-drops > "$d/audit.md"
 grep -q '## Failure domains' "$d/audit.md"
 grep -q '| eu | 480-520 |' "$d/audit.md"
+grep -q '## Why (decision provenance)' "$d/audit.md"
+grep -q 'rejection events match rejected-by-injector dispositions: OK' "$d/audit.md"
+grep -q 'granted centers appear in decision walks (mismatches): OK' "$d/audit.md"
 
 echo "chaos-smoke: ok"

@@ -9,6 +9,10 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Re-run the suite with a shuffled test order (fixed seed so a failure
+# reproduces): tests must not depend on the order they are declared in.
+go test -shuffle 1 ./...
+
 # Gated benchmark snapshot: runs the CoreRun/Checkpoint/ObsOverhead
 # benchmarks (so they always stay runnable), refreshes BENCH_core.json,
 # and fails on a >20% allocs/op or B/op (or >2x ns/op) regression

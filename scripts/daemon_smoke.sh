@@ -103,7 +103,8 @@ pid=""
 # --- Phase 4: hot reload over HTTP and SIGHUP -------------------------
 printf '{}' > "$d/hot.json"
 start_daemon "$d/p4.err" -games live -tick-seconds 1 -queue 4 \
-    -config "$d/hot.json" -obs-events "$d/events.jsonl" -drain-timeout 30s
+    -config "$d/hot.json" -obs-events "$d/events.jsonl" -explain 64 \
+    -drain-timeout 30s
 printf '{"observe_delay_ms": 40}' > "$d/body.json"
 post "$d/body.json" "http://$addr/v1/config" | grep -q '"applied": *true'
 fetch "http://$addr/v1/config" | grep -q '"observe_delay_ms": *40'
@@ -140,6 +141,12 @@ grep -Eq '^mmogdc_daemon_shed_total\{game="live"\} [1-9][0-9]*$' "$d/metrics.txt
 grep -Eq '^mmogdc_daemon_ingest_total\{game="live"\} [1-9][0-9]*$' "$d/metrics.txt"
 shed_cli=$(sed -n 's/.* shed=\([0-9]*\) .*/\1/p' "$d/load10.out")
 grep -q "^mmogdc_daemon_shed_total{game=\"live\"} $shed_cli\$" "$d/metrics.txt"
+# Decision provenance is live under overload: /v1/explain answers with
+# retained decision records whose candidates carry dispositions.
+fetch "http://$addr/v1/explain?game=live" > "$d/explain.json"
+grep -q '"game": *"live"' "$d/explain.json"
+grep -q '"depth": *64' "$d/explain.json"
+grep -Eq '"disposition": *"(granted|partial-trimmed|not-needed|no-capacity|rejected-by-injector)"' "$d/explain.json"
 kill -TERM "$pid"
 wait "$pid" || { echo "daemon-smoke: phase-4 drain failed" >&2; exit 1; }
 pid=""
